@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Simulation runs are expensive and several figures consume the same
+configuration (Figures 9, 10 and 11 all read the Cp run), so runs are
+memoised per session.  Every benchmark also writes its formatted table
+to ``benchmarks/results/`` for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.harness.runner import RunResult, run_app
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Run-length multiplier for every benchmark; lower it (e.g.
+#: ``REPRO_BENCH_SCALE=0.3 pytest benchmarks/``) for a quick pass.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+_run_cache: Dict[Tuple[str, str], RunResult] = {}
+
+
+def cached_run(app: str, variant: str) -> RunResult:
+    key = (app, variant)
+    if key not in _run_cache:
+        _run_cache[key] = run_app(app, variant, scale=BENCH_SCALE)
+    return _run_cache[key]
+
+
+@pytest.fixture(scope="session")
+def run_cache():
+    return cached_run
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)

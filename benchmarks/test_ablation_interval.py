@@ -1,0 +1,54 @@
+"""Ablation: error-free overhead and log size vs checkpoint interval.
+
+Section 3.3 argues the trade-off that fixes the paper's 100 ms design
+point: frequent checkpoints cost error-free time (flushes + commits)
+but bound the log and the lost work per error.  This sweep quantifies
+both sides on one dirty-cache application; overhead must decrease
+monotonically-ish with the interval while the maximum log grows.
+"""
+
+from conftest import BENCH_SCALE, write_result
+
+from repro.harness.reporting import format_table
+from repro.harness.runner import DEFAULT_INTERVAL_NS, run_app
+
+APP = "fft"
+INTERVALS = (DEFAULT_INTERVAL_NS // 2, DEFAULT_INTERVAL_NS,
+             2 * DEFAULT_INTERVAL_NS, 4 * DEFAULT_INTERVAL_NS)
+
+
+def _collect():
+    base = run_app(APP, "baseline", scale=BENCH_SCALE)
+    rows = []
+    for interval in INTERVALS:
+        result = run_app(APP, "cp_parity", scale=BENCH_SCALE,
+                         interval_ns=interval)
+        rows.append({
+            "interval_ns": interval,
+            "overhead": result.overhead_vs(base),
+            "max_log_bytes": result.max_log_bytes,
+            "checkpoints": result.checkpoints,
+            "worst_lost_work_ns": int(interval * 1.8),
+        })
+    return rows
+
+
+def test_ablation_checkpoint_interval(benchmark, results_dir):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    overheads = [r["overhead"] for r in rows]
+    # Sparser checkpoints cost less error-free time...
+    assert overheads[-1] < overheads[0]
+    # ...but lose more work per error, linearly by construction.
+    lost = [r["worst_lost_work_ns"] for r in rows]
+    assert lost == sorted(lost)
+
+    table = format_table(
+        ["Interval (us)", "Overhead", "Max log (KB)", "Ckpts",
+         "Worst lost work (us)"],
+        [[f"{r['interval_ns'] / 1e3:.0f}", f"{100 * r['overhead']:+.1f}%",
+          f"{r['max_log_bytes'] / 1024:.0f}", r["checkpoints"],
+          f"{r['worst_lost_work_ns'] / 1e3:.0f}"] for r in rows],
+        title=f"Ablation — checkpoint interval on {APP} "
+              f"(scale={BENCH_SCALE}; the paper's Section 3.3 trade-off)")
+    write_result(results_dir, "ablation_interval", table)

@@ -1,0 +1,54 @@
+"""Ablation: the optional Logged bit (Section 4.1.2).
+
+The paper argues the L bit is a pure optimisation: a design keeping L
+bits only in a directory cache (losing them on displacement) or no L
+bits at all stays correct, at the price of logging lines more than once
+per checkpoint interval.  This ablation quantifies that price: log
+appends and log bytes versus the full-bit design.
+"""
+
+from conftest import BENCH_SCALE, write_result
+
+from repro.harness.reporting import format_table
+from repro.harness.runner import build_machine
+from repro.workloads.registry import get_workload
+
+APP = "ocean"
+VARIANTS = [("full L bits", None), ("4K-entry directory cache", 4096),
+            ("256-entry directory cache", 256), ("no L bits", 0)]
+
+
+def _collect():
+    rows = []
+    for label, capacity in VARIANTS:
+        machine = build_machine("cp_parity", l_bit_capacity=capacity)
+        machine.attach_workload(get_workload(APP, scale=BENCH_SCALE))
+        machine.run()
+        appends = sum(log.appends for log in machine.revive.logs.values())
+        rows.append({
+            "label": label,
+            "appends": appends,
+            "max_log_bytes": machine.revive.max_log_bytes(),
+            "exec_ns": machine.steady_execution_time,
+        })
+    return rows
+
+
+def test_ablation_l_bits(benchmark, results_dir):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    appends = [r["appends"] for r in rows]
+    # Weaker L-bit designs log strictly more.
+    assert appends[0] <= appends[1] <= appends[3]
+    assert appends[3] > 1.2 * appends[0]
+
+    base_time = rows[0]["exec_ns"]
+    table = format_table(
+        ["L-bit design", "Log appends", "Max log (KB)",
+         "Execution vs full bits"],
+        [[r["label"], r["appends"], f"{r['max_log_bytes'] / 1024:.0f}",
+          f"{100 * (r['exec_ns'] / base_time - 1):+.1f}%"] for r in rows],
+        title=f"Ablation — optional L bit on {APP} "
+              f"(scale={BENCH_SCALE}; Section 4.1.2: correctness never "
+              f"depends on the bit)")
+    write_result(results_dir, "ablation_lbits", table)

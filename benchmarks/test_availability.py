@@ -1,0 +1,58 @@
+"""Section 3.3.2: availability arithmetic, paper-vs-model.
+
+Checks the analytic claims: at a 100 ms checkpoint interval with 80 ms
+detection latency and 50 ms hardware recovery, worst-case node-loss
+unavailability stays near 820 ms and availability beats 99.999% at one
+error per day; the memory-intact case (~250 ms) reaches 99.9997%.
+"""
+
+from conftest import write_result
+
+from repro.core.availability import (
+    NS_PER_DAY,
+    NS_PER_MS,
+    availability,
+    average_lost_work_ns,
+    nines,
+    unavailable_time_ms,
+    worst_case_lost_work_ns,
+)
+from repro.harness.reporting import format_table
+
+
+def _paper_numbers():
+    worst_lost_work = worst_case_lost_work_ns(100 * NS_PER_MS,
+                                                 80 * NS_PER_MS)
+    avg_lost_work = average_lost_work_ns(100 * NS_PER_MS,
+                                            80 * NS_PER_MS)
+    rows = []
+    for label, lost_work_ms, hw_ms, ph2_ms, ph3_ms in [
+        ("worst case, node loss (Radix)", worst_lost_work / 1e6, 50, 100,
+         490),
+        ("average, node loss", avg_lost_work / 1e6 / 1.3, 50, 30, 140),
+        ("average, memory intact", avg_lost_work / 1e6 / 1.3, 50, 0, 70),
+    ]:
+        unavailable_ms = unavailable_time_ms(lost_work_ms, hw_ms,
+                                                ph2_ms, ph3_ms)
+        a = availability(NS_PER_DAY, unavailable_ms * 1e6)
+        rows.append((label, unavailable_ms, a, nines(a)))
+    return rows
+
+
+def test_availability(benchmark, results_dir):
+    rows = benchmark(_paper_numbers)
+
+    worst = rows[0]
+    assert worst[1] <= 900.0            # paper: ~820 ms worst case
+    assert worst[2] > 0.99999           # five nines even then
+    intact = rows[2]
+    assert intact[2] > 0.99999
+
+    table = format_table(
+        ["Scenario", "Unavailable (ms)", "Availability @ 1 err/day",
+         "Nines"],
+        [[label, f"{ms:.0f}", f"{100 * a:.5f}%", f"{n:.1f}"]
+         for label, ms, a, n in rows],
+        title="Availability model (paper: 820ms worst -> 99.999%; "
+              "250ms intact -> 99.9997%)")
+    write_result(results_dir, "availability", table)

@@ -1,0 +1,44 @@
+"""Figure 10: breakdown of memory traffic in the Cp configuration.
+
+Same five categories as Figure 9, measured at the DRAM interface.
+Here LOG is visible (log copies are memory writes on the home node)
+and PAR includes the parity read-modify-writes on the parity homes.
+"""
+
+from conftest import BENCH_SCALE, cached_run, write_result
+
+from repro.harness.reporting import format_table
+from repro.sim.stats import TRAFFIC_CATEGORIES
+from repro.workloads.registry import APP_NAMES
+
+
+def _collect():
+    rows = []
+    for app in APP_NAMES:
+        result = cached_run(app, "cp_parity")
+        row = {"app": app}
+        row.update(result.memory_traffic)
+        rows.append(row)
+    return rows
+
+
+def test_fig10_memory_traffic(benchmark, results_dir):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    for row in rows:
+        # Every ReVive category materialises at the memory interface.
+        assert row["PAR"] > 0, row["app"]
+        assert row["LOG"] > 0, row["app"]
+        assert row["CkpWB"] > 0, row["app"]
+        # Parity is the largest ReVive component (paper: if mirroring
+        # were used, only PAR would shrink — to one third).
+        assert row["PAR"] >= row["LOG"], row["app"]
+
+    table = format_table(
+        ["App"] + list(TRAFFIC_CATEGORIES) + ["Total MB"],
+        [[r["app"]] + [f"{r[c] / 1e6:.2f}" for c in TRAFFIC_CATEGORIES]
+         + [f"{sum(r[c] for c in TRAFFIC_CATEGORIES) / 1e6:.2f}"]
+         for r in rows],
+        title=f"Figure 10 — memory traffic breakdown, Cp configuration, "
+              f"MB (scale={BENCH_SCALE})")
+    write_result(results_dir, "fig10_memory_traffic", table)

@@ -1,0 +1,73 @@
+"""Figure 12: breakdown of the unavailable time due to an error.
+
+Section 6.3's scenario: the error (permanent loss of a node) occurs
+just before the second checkpoint is established and is detected 0.8 of
+an interval later, maximising both lost work and recovery time.  The
+unavailable time decomposes into lost work + hardware recovery
+(Phase 1, fixed 50 ms) + log rebuild (Phase 2) + rollback (Phase 3).
+
+Contract with the paper: Radix — the largest log — needs the longest
+ReVive recovery (paper: 59 ms vs a 17 ms average in its scaled
+simulation); extrapolated to the 100 ms real-system interval, total
+unavailability lands under ~1 s, giving five nines at one error/day.
+Recovery is also verified functionally elsewhere (the test suite
+checks bit-for-bit rollback); this benchmark reports the timing.
+"""
+
+from conftest import BENCH_SCALE, write_result
+
+from repro.core.availability import availability, NS_PER_DAY
+from repro.harness.experiments import fig12_recovery
+from repro.harness.reporting import format_table
+from repro.workloads.registry import APP_NAMES
+
+
+def _collect():
+    return fig12_recovery(apps=APP_NAMES, scale=BENCH_SCALE, lost_node=3)
+
+
+def test_fig12_recovery(benchmark, results_dir):
+    experiments = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    by_app = {e.app: e for e in experiments}
+
+    revive_ns = {e.app: e.result.revive_recovery_ns for e in experiments}
+    # Radix's big log means the longest ReVive recovery.
+    assert max(revive_ns, key=revive_ns.get) == "radix"
+    # Everyone recovers and replays real work.
+    for e in experiments:
+        assert e.result.entries_undone > 0, e.app
+        assert e.result.lost_work_ns > 0, e.app
+
+    rows = []
+    worst_unavail_ms = 0.0
+    for e in experiments:
+        r = e.result
+        unavail_ms = e.unavailable_ms_scaled
+        worst_unavail_ms = max(worst_unavail_ms, unavail_ms)
+        rows.append([
+            e.app,
+            f"{r.lost_work_ns / 1e3:.0f}",
+            f"{r.phase2_ns / 1e3:.0f}",
+            f"{r.phase3_ns / 1e3:.0f}",
+            f"{r.entries_undone}",
+            f"{unavail_ms:.0f}",
+        ])
+    avg_unavail_ms = sum(e.unavailable_ms_scaled
+                         for e in experiments) / len(experiments)
+    a = availability(NS_PER_DAY, worst_unavail_ms * 1e6)
+    rows.append(["AVERAGE", "", "", "", "",
+                 f"{avg_unavail_ms:.0f}"])
+
+    # The paper's headline: > 99.999% availability at 1 error/day even
+    # for the worst case.
+    assert a > 0.99999, a
+
+    table = format_table(
+        ["App", "Lost work (us)", "Log rebuild (us)", "Rollback (us)",
+         "Entries undone", "Unavailable, scaled to 100ms interval (ms)"],
+        rows,
+        title=f"Figure 12 — worst-case node-loss recovery "
+              f"(scale={BENCH_SCALE}; paper: 820ms worst, ~400ms avg, "
+              f"availability >= 99.999% at 1 error/day; "
+              f"measured worst-case availability {100 * a:.5f}%)")
+    write_result(results_dir, "fig12_recovery", table)

@@ -1,0 +1,54 @@
+"""Figure 9: breakdown of network traffic in the Cp configuration.
+
+Traffic splits into RD/RDX (cache-miss data supply), ExeWB (regular
+write-backs), CkpWB (checkpoint-flush write-backs), LOG and PAR.
+Baseline traffic is RD/RDX + ExeWB; everything else is ReVive's.
+
+Shape contract: PAR dominates the ReVive-added traffic (the paper's
+"mostly resulting from parity maintenance"), and the three
+L2-overflowing applications carry far more absolute traffic than the
+rest.  LOG network traffic is zero by construction — the log lives on
+the same node as the data it protects, so log copies never cross the
+network (the paper's Figure 9 shows a barely visible LOG share).
+"""
+
+from conftest import BENCH_SCALE, cached_run, write_result
+
+from repro.harness.reporting import format_table
+from repro.sim.stats import TRAFFIC_CATEGORIES
+from repro.workloads.registry import APP_NAMES
+
+
+def _collect():
+    rows = []
+    for app in APP_NAMES:
+        result = cached_run(app, "cp_parity")
+        row = {"app": app}
+        row.update(result.network_traffic)
+        rows.append(row)
+    return rows
+
+
+def test_fig9_network_traffic(benchmark, results_dir):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    by_app = {r["app"]: r for r in rows}
+
+    for row in rows:
+        revive_traffic = row["CkpWB"] + row["LOG"] + row["PAR"]
+        assert row["PAR"] >= 0.5 * revive_traffic, row["app"]
+        assert row["RD/RDX"] > 0
+
+    heavy = sum(sum(by_app[a][c] for c in TRAFFIC_CATEGORIES)
+                for a in ("fft", "ocean", "radix")) / 3
+    light = sum(sum(by_app[a][c] for c in TRAFFIC_CATEGORIES)
+                for a in ("water-n2", "water-sp", "lu")) / 3
+    assert heavy > 2 * light
+
+    table = format_table(
+        ["App"] + list(TRAFFIC_CATEGORIES) + ["Total MB"],
+        [[r["app"]] + [f"{r[c] / 1e6:.2f}" for c in TRAFFIC_CATEGORIES]
+         + [f"{sum(r[c] for c in TRAFFIC_CATEGORIES) / 1e6:.2f}"]
+         for r in rows],
+        title=f"Figure 9 — network traffic breakdown, Cp configuration, "
+              f"MB (scale={BENCH_SCALE})")
+    write_result(results_dir, "fig9_network_traffic", table)

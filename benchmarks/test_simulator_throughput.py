@@ -1,0 +1,42 @@
+"""Simulator throughput: references simulated per wall-clock second.
+
+Not a paper exhibit — a performance regression guard for the simulator
+itself.  The whole evaluation's turnaround depends on this number, so
+it is tracked alongside the figures (pytest-benchmark reports the
+per-round timing; the test also prints refs/sec).
+"""
+
+from conftest import write_result
+
+from repro.harness.reporting import format_table
+from repro.harness.runner import build_machine
+from repro.machine.config import MachineConfig
+from repro.workloads.registry import get_workload
+
+
+def _simulate(variant):
+    machine = build_machine(variant,
+                            machine_config=MachineConfig.bench())
+    machine.attach_workload(get_workload("lu", scale=0.25))
+    machine.run()
+    return machine.total_mem_refs(), machine
+
+
+def test_simulator_throughput(benchmark, results_dir):
+    refs, _machine = benchmark.pedantic(lambda: _simulate("baseline"),
+                                        rounds=3, iterations=1)
+    seconds = benchmark.stats.stats.mean
+    refs_per_sec = refs / seconds
+
+    # Regression guard: the trace-driven simulator should stay above
+    # ~50k refs/s on any reasonable host (typical: several 100k/s).
+    assert refs_per_sec > 50_000, f"{refs_per_sec:.0f} refs/s"
+
+    table = format_table(
+        ["Metric", "Value"],
+        [["references per round", refs],
+         ["mean wall seconds", f"{seconds:.2f}"],
+         ["simulated refs/sec (baseline)", f"{refs_per_sec:,.0f}"]],
+        title="Simulator throughput (regression guard, not a paper "
+              "exhibit)")
+    write_result(results_dir, "simulator_throughput", table)

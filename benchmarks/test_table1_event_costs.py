@@ -1,0 +1,42 @@
+"""Table 1: extra memory accesses / lines / messages per ReVive event.
+
+The paper's table gives, for the three event classes of the extended
+directory controller, the number of *extra* memory accesses, extra
+lines accessed and extra network messages.  These must match exactly —
+they are properties of the protocol, not of the workload.
+"""
+
+from conftest import write_result
+
+from repro.harness.experiments import TABLE1_PAPER, table1_event_costs
+from repro.harness.reporting import format_table
+
+_ROW_LABELS = {
+    "wb_logged": "Write-back, already logged (Fig. 4)",
+    "rdx_unlogged": "Read-excl/upgrade, not logged (Fig. 5a)",
+    "wb_unlogged": "Write-back, not logged (Fig. 5b)",
+}
+
+
+def test_table1_event_costs(benchmark, results_dir):
+    measured = benchmark.pedantic(table1_event_costs, rounds=1, iterations=1)
+
+    rows = []
+    for event, paper in TABLE1_PAPER.items():
+        got = measured[event]
+        assert got["events"] > 100, f"micro-workload never triggered {event}"
+        assert got["accesses"] == paper["accesses"], event
+        assert got["lines"] == paper["lines"], event
+        assert got["messages"] == paper["messages"], event
+        rows.append([
+            _ROW_LABELS[event], got["events"],
+            f"{got['accesses']:.0f} (paper {paper['accesses']})",
+            f"{got['lines']:.0f} (paper {paper['lines']})",
+            f"{got['messages']:.0f} (paper {paper['messages']})",
+        ])
+    table = format_table(
+        ["Event", "Count", "Extra mem accesses", "Extra lines",
+         "Extra messages"],
+        rows, title="Table 1 — events that trigger parity updates and "
+                    "logging (7+1 parity)")
+    write_result(results_dir, "table1_event_costs", table)

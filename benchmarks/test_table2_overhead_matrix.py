@@ -1,0 +1,51 @@
+"""Table 2: effect of application behaviour and checkpoint frequency.
+
+The paper's qualitative matrix:
+
+    working set            high frequency   low frequency
+    does not fit in L2     High             High
+    fits in L2, dirty      High             Low
+    fits in L2, clean      Medium           Low
+
+Reproduced with three directed synthetic working-set classes at the
+bench checkpoint interval ("high") and a 4x sparser one ("low").
+"""
+
+from conftest import BENCH_SCALE, write_result
+
+from repro.harness.experiments import table2_overhead_matrix
+from repro.harness.reporting import format_table
+
+
+def test_table2_overhead_matrix(benchmark, results_dir):
+    rows = benchmark.pedantic(table2_overhead_matrix, rounds=1,
+                              iterations=1,
+                              kwargs={"scale": BENCH_SCALE})
+    by_class = {r["working_set"]: r for r in rows}
+
+    big = by_class["does_not_fit_l2"]
+    dirty = by_class["fits_l2_mostly_dirty"]
+    clean = by_class["fits_l2_mostly_clean"]
+
+    # Row 1: high overhead regardless of frequency (log/parity bound).
+    assert big["low"] > 0.5 * clean["high"]
+    # Row 2: dirty working sets hurt at high frequency, relax at low.
+    assert dirty["high"] > 2 * dirty["low"]
+    # Row 3: clean working sets checkpoint cheaply at both (medium/low).
+    assert clean["high"] < dirty["high"]
+    assert clean["low"] <= clean["high"]
+
+    table = format_table(
+        ["Working set", "High ckpt frequency", "Low ckpt frequency",
+         "Paper says"],
+        [
+            ["does not fit in L2", f"{100 * big['high']:.1f}%",
+             f"{100 * big['low']:.1f}%", "High / High"],
+            ["fits in L2, mostly dirty", f"{100 * dirty['high']:.1f}%",
+             f"{100 * dirty['low']:.1f}%", "High / Low"],
+            ["fits in L2, mostly clean", f"{100 * clean['high']:.1f}%",
+             f"{100 * clean['low']:.1f}%", "Medium / Low"],
+        ],
+        title=f"Table 2 — overhead vs working set and checkpoint "
+              f"frequency (scale={BENCH_SCALE})")
+    write_result(results_dir, "table2_overhead_matrix", table)

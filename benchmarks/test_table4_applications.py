@@ -1,0 +1,55 @@
+"""Table 4: characteristics of the applications.
+
+Reports the analogs' modelled instruction counts and global L2 miss
+rates next to the paper's measurements.  Absolute counts are scaled
+(our runs are shorter by design); the reproduction contract is that
+the *relative* ordering matches — the three applications whose working
+sets overflow the L2 (FFT, Ocean, Radix) stand clearly apart.
+"""
+
+from conftest import BENCH_SCALE, cached_run, write_result
+
+from repro.harness.reporting import format_table
+from repro.workloads.registry import APP_NAMES, paper_reference
+
+HIGH_MISS_APPS = {"fft", "ocean", "radix"}
+
+
+def _collect():
+    rows = []
+    for app in APP_NAMES:
+        result = cached_run(app, "baseline")
+        ref = paper_reference(app)
+        rows.append({
+            "app": app,
+            "problem": ref["problem"],
+            "instructions_M": result.instructions / 1e6,
+            "paper_instructions_M": ref["instructions_M"],
+            "l2_miss_pct": 100.0 * result.l2_miss_rate,
+            "paper_l2_miss_pct": ref["l2_miss_pct"],
+        })
+    return rows
+
+
+def test_table4_applications(benchmark, results_dir):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    high = {r["app"]: r["l2_miss_pct"] for r in rows
+            if r["app"] in HIGH_MISS_APPS}
+    low = {r["app"]: r["l2_miss_pct"] for r in rows
+           if r["app"] not in HIGH_MISS_APPS}
+    # The L2-overflowing trio must sit clearly above everyone else.
+    assert min(high.values()) > 2 * max(low.values()), (high, low)
+    # And the compute-bound Water codes at the very bottom.
+    for water in ("water-n2", "water-sp"):
+        assert low[water] <= 0.1, low
+
+    table = format_table(
+        ["App", "Problem (paper)", "Instr (M)", "Paper instr (M)",
+         "L2 miss %", "Paper miss %"],
+        [[r["app"], r["problem"], f"{r['instructions_M']:.1f}",
+          r["paper_instructions_M"], f"{r['l2_miss_pct']:.3f}",
+          r["paper_l2_miss_pct"]] for r in rows],
+        title=f"Table 4 — application characteristics "
+              f"(scale={BENCH_SCALE})")
+    write_result(results_dir, "table4_applications", table)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Explore ReVive's tuning space: interval and parity-vs-mirroring.
+
+Section 6.1 discusses the trade-off: parity uses 12% of memory but
+costs more maintenance traffic; mirroring is faster but takes 50% of
+memory; longer checkpoint intervals amortise flush costs but grow the
+log (and the lost work on an error).  This example sweeps both knobs on
+one application and prints the resulting overhead / memory / log /
+lost-work trade-off table.
+
+Run:  python examples/checkpoint_tuning.py [app]
+"""
+
+import sys
+
+from repro.harness.reporting import format_table
+from repro.harness.runner import DEFAULT_INTERVAL_NS, run_app
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "fft"
+    print(f"Sweeping checkpoint interval and redundancy scheme on "
+          f"{app!r}...")
+    baseline = run_app(app, "baseline")
+
+    rows = []
+    for label, variant in [("7+1 parity", "cp_parity"),
+                           ("mirroring", "cp_mirroring")]:
+        for interval in (DEFAULT_INTERVAL_NS // 2, DEFAULT_INTERVAL_NS,
+                         2 * DEFAULT_INTERVAL_NS):
+            result = run_app(app, variant, interval_ns=interval)
+            machine_overhead = result.overhead_vs(baseline)
+            memory_overhead = 0.125 if variant == "cp_parity" else 0.5
+            worst_lost_work_us = (interval * 1.8) / 1e3
+            rows.append([
+                label,
+                f"{interval / 1e3:.0f}us",
+                f"{100 * machine_overhead:+.1f}%",
+                f"{100 * memory_overhead:.0f}%",
+                f"{result.max_log_bytes / 1024:.0f}KB",
+                f"{worst_lost_work_us:.0f}us",
+                result.checkpoints,
+            ])
+            print(f"  {label:<11} interval={interval / 1e3:>4.0f}us  "
+                  f"overhead={100 * machine_overhead:+.1f}%")
+
+    print()
+    print(format_table(
+        ["Scheme", "Interval", "Time overhead", "Memory overhead",
+         "Max log", "Worst lost work", "Ckpts"],
+        rows,
+        title=f"{app}: ReVive tuning space (paper: parity 12% memory "
+              f"vs mirroring 50%; longer intervals lower overhead but "
+              f"lose more work per error)"))
+
+
+if __name__ == "__main__":
+    main()

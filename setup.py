@@ -1,0 +1,8 @@
+"""Setup shim: all metadata lives in pyproject.toml.
+
+Present so environments without the `wheel` package can still do
+`pip install -e . --no-use-pep517`.
+"""
+from setuptools import setup
+
+setup()

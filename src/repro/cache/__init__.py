@@ -1,0 +1,26 @@
+"""Write-back set-associative caches and the two-level hierarchy."""
+
+from repro.cache.cache import (
+    CacheLine,
+    SetAssocCache,
+    TagFilter,
+    INVALID,
+    SHARED,
+    EXCLUSIVE,
+    MODIFIED,
+    state_name,
+)
+from repro.cache.hierarchy import AccessResult, CacheHierarchy
+
+__all__ = [
+    "CacheLine",
+    "SetAssocCache",
+    "TagFilter",
+    "AccessResult",
+    "CacheHierarchy",
+    "INVALID",
+    "SHARED",
+    "EXCLUSIVE",
+    "MODIFIED",
+    "state_name",
+]

@@ -1,0 +1,204 @@
+"""Set-associative write-back cache with MESI line states.
+
+Line addresses are full physical addresses aligned to the line size.
+LRU order inside each set is maintained by Python dict insertion order:
+a touch removes and re-inserts the line, so the first key of a set dict
+is always the least recently used way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+INVALID, SHARED, EXCLUSIVE, MODIFIED = 0, 1, 2, 3
+
+_STATE_NAMES = {INVALID: "I", SHARED: "S", EXCLUSIVE: "E", MODIFIED: "M"}
+
+
+def state_name(state: int) -> str:
+    """Single-letter name of a MESI state (debugging/repr)."""
+    return _STATE_NAMES[state]
+
+
+#: Lines per 4 KB page at 64-byte lines; the page-hash granularity.
+_PAGE_LINES = 64
+
+
+def set_index(addr: int, line_size: int, n_sets: int) -> int:
+    """Page-hashed set index.
+
+    Within a page, lines map to sets by plain modulo — preserving the
+    conflict-freedom of contiguous/strided working sets.  The *page*
+    selects its group of sets through a multiplicative hash.  Plain
+    modulo across the whole address would interact pathologically with
+    the parity layout (mirroring hands out only every other physical
+    page, leaving the page-index bit of the set index constant and
+    half the cache unused); hashing the page index decorrelates any
+    allocation stride from set selection, as real hashed-index L2s do.
+    """
+    line_no = addr // line_size
+    if n_sets <= _PAGE_LINES:
+        return line_no % n_sets
+    groups = n_sets // _PAGE_LINES
+    page = line_no // _PAGE_LINES
+    group = ((page * 2654435761) >> 12) % groups
+    return (line_no % _PAGE_LINES) + _PAGE_LINES * group
+
+
+class CacheLine:
+    """One resident line: its address, MESI state and (if dirty) value."""
+
+    __slots__ = ("addr", "state", "value")
+
+    def __init__(self, addr: int, state: int, value: int = 0) -> None:
+        self.addr = addr
+        self.state = state
+        self.value = value
+
+    @property
+    def dirty(self) -> bool:
+        """True when the line holds a modified (unwritten-back) value."""
+        return self.state == MODIFIED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheLine({self.addr:#x}, {state_name(self.state)})"
+
+
+class SetAssocCache:
+    """A set-associative cache of :class:`CacheLine` records."""
+
+    def __init__(self, name: str, size: int, assoc: int,
+                 line_size: int) -> None:
+        n_sets = size // (assoc * line_size)
+        if n_sets < 1 or size % (assoc * line_size) != 0:
+            raise ValueError(
+                f"cache geometry invalid: size={size} assoc={assoc} "
+                f"line={line_size}")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.n_sets = n_sets
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, addr: int) -> Dict[int, CacheLine]:
+        return self._sets[set_index(addr, self.line_size, self.n_sets)]
+
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        """Find the line and refresh its LRU position; counts hit/miss."""
+        cache_set = self._set_of(addr)
+        line = cache_set.pop(addr, None)
+        if line is None:
+            self.misses += 1
+            return None
+        cache_set[addr] = line           # re-insert: most recently used
+        self.hits += 1
+        return line
+
+    def peek(self, addr: int) -> Optional[CacheLine]:
+        """Find the line without disturbing LRU or hit statistics."""
+        return self._set_of(addr).get(addr)
+
+    def insert(self, addr: int, state: int,
+               value: int = 0) -> Optional[CacheLine]:
+        """Insert (or overwrite) a line; returns the evicted victim, if any.
+
+        The victim is chosen LRU.  The caller is responsible for writing
+        back a dirty victim.
+        """
+        cache_set = self._set_of(addr)
+        existing = cache_set.pop(addr, None)
+        if existing is not None:
+            existing.state = state
+            existing.value = value
+            cache_set[addr] = existing
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            lru_addr = next(iter(cache_set))
+            victim = cache_set.pop(lru_addr)
+        cache_set[addr] = CacheLine(addr, state, value)
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Remove the line, returning it (so callers can salvage a dirty value)."""
+        return self._set_of(addr).pop(addr, None)
+
+    def dirty_lines(self) -> Iterator[CacheLine]:
+        """Iterate over the MODIFIED lines currently resident."""
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                if line.state == MODIFIED:
+                    yield line
+
+    def resident_lines(self) -> Iterator[CacheLine]:
+        """Iterate over every resident line."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def clear(self) -> None:
+        """Drop every line (recovery invalidates all caches)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def resident_count(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / lookups since construction (or last reset)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class TagFilter:
+    """Tag-only set-associative array.
+
+    Used to model the L1 for *timing*: coherence state and dirty values
+    live in the L2 (the point of coherence), while the L1 filter decides
+    whether an access pays the 2 ns L1 latency or the 12 ns L2 latency.
+    """
+
+    def __init__(self, name: str, size: int, assoc: int,
+                 line_size: int) -> None:
+        n_sets = size // (assoc * line_size)
+        if n_sets < 1 or size % (assoc * line_size) != 0:
+            raise ValueError(
+                f"filter geometry invalid: size={size} assoc={assoc} "
+                f"line={line_size}")
+        self.name = name
+        self.assoc = assoc
+        self.line_size = line_size
+        self.n_sets = n_sets
+        self._sets: List[Dict[int, None]] = [dict() for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, addr: int) -> Dict[int, None]:
+        return self._sets[set_index(addr, self.line_size, self.n_sets)]
+
+    def touch(self, addr: int) -> bool:
+        """Record an access; returns True on hit."""
+        tag_set = self._set_of(addr)
+        if addr in tag_set:
+            del tag_set[addr]
+            tag_set[addr] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(tag_set) >= self.assoc:
+            del tag_set[next(iter(tag_set))]
+        tag_set[addr] = None
+        return False
+
+    def invalidate(self, addr: int) -> None:
+        """Remove the address from the array, if present."""
+        self._set_of(addr).pop(addr, None)
+
+    def clear(self) -> None:
+        """Drop all contents."""
+        for tag_set in self._sets:
+            tag_set.clear()

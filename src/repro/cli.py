@@ -1,0 +1,197 @@
+"""Command-line interface.
+
+Exposes the common workflows without writing Python::
+
+    python -m repro list                      # available workloads
+    python -m repro run ocean --variant cp_parity
+    python -m repro compare radix             # all five variants
+    python -m repro recover lu --lost-node 3  # fault injection + recovery
+    python -m repro table3                    # machine configuration
+
+All commands accept ``--scale`` (run length multiplier) and
+``--interval-us`` (checkpoint interval).  Exit status is nonzero when a
+recovery verification fails, so the CLI is scriptable in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.faults import NodeLossFault, TransientSystemFault
+from repro.core.recovery import RecoveryManager
+from repro.harness.reporting import format_table
+from repro.harness.runner import (
+    DEFAULT_INTERVAL_NS,
+    VARIANT_LABELS,
+    VARIANTS,
+    build_machine,
+    run_app,
+)
+from repro.sim.stats import TRAFFIC_CATEGORIES
+from repro.workloads.registry import APP_NAMES, paper_reference
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ReVive (ISCA 2002) reproduction: run the simulator, "
+                    "compare configurations, inject faults.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the twelve Splash-2 analogs")
+    sub.add_parser("table3", help="print the modelled machine parameters")
+
+    run_p = sub.add_parser("run", help="run one workload on one variant")
+    _common(run_p)
+    run_p.add_argument("--variant", choices=VARIANTS, default="cp_parity")
+
+    cmp_p = sub.add_parser("compare",
+                           help="run all five variants and report overheads")
+    _common(cmp_p)
+
+    rec_p = sub.add_parser("recover",
+                           help="inject a fault and verify recovery")
+    _common(rec_p)
+    rec_p.add_argument("--lost-node", type=int, default=None,
+                       help="node to lose permanently "
+                            "(omit for a transient system-wide fault)")
+    return parser
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", choices=APP_NAMES)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="run-length multiplier (default 1.0)")
+    parser.add_argument("--interval-us", type=float,
+                        default=DEFAULT_INTERVAL_NS / 1000,
+                        help="checkpoint interval in microseconds")
+
+
+def cmd_list() -> int:
+    """``repro list``: print the twelve workload analogs."""
+    rows = []
+    for app in APP_NAMES:
+        ref = paper_reference(app)
+        rows.append([app, ref["problem"], ref["instructions_M"],
+                     ref["l2_miss_pct"]])
+    print(format_table(
+        ["App", "Paper problem size", "Paper instr (M)", "Paper L2 miss %"],
+        rows, title="Splash-2 application analogs (Table 4)"))
+    return 0
+
+
+def cmd_table3() -> int:
+    """``repro table3``: print the machine parameters."""
+    from repro.harness.experiments import table3_architecture
+
+    row = table3_architecture()
+    print(format_table(["Parameter", "Value"],
+                       [[k, v] for k, v in row.items()],
+                       title="Modelled machine (Table 3)"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """``repro run``: one workload on one variant."""
+    interval = int(args.interval_us * 1000)
+    result = run_app(args.app, args.variant, scale=args.scale,
+                     interval_ns=interval)
+    rows = [
+        ["execution time (us)", f"{result.execution_time_ns / 1e3:.1f}"],
+        ["references", result.total_refs],
+        ["L2 miss rate", f"{100 * result.l2_miss_rate:.3f}%"],
+        ["checkpoints", result.checkpoints],
+        ["max log (KB)", f"{result.max_log_bytes / 1024:.0f}"],
+    ]
+    for category in TRAFFIC_CATEGORIES:
+        rows.append([f"memory traffic {category} (MB)",
+                     f"{result.memory_traffic[category] / 1e6:.2f}"])
+    print(format_table(["Metric", "Value"], rows,
+                       title=f"{args.app} on "
+                             f"{VARIANT_LABELS[args.variant]}"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """``repro compare``: all five variants, with overheads."""
+    interval = int(args.interval_us * 1000)
+    base = run_app(args.app, "baseline", scale=args.scale)
+    rows = [["Base", f"{base.execution_time_ns / 1e3:.1f}", "—"]]
+    for variant in VARIANTS[1:]:
+        result = run_app(args.app, variant, scale=args.scale,
+                         interval_ns=interval)
+        rows.append([VARIANT_LABELS[variant],
+                     f"{result.execution_time_ns / 1e3:.1f}",
+                     f"{100 * result.overhead_vs(base):+.1f}%"])
+    print(format_table(["Variant", "Time (us)", "Overhead"], rows,
+                       title=f"{args.app}: error-free execution "
+                             f"(Figure 8 row)"))
+    return 0
+
+
+def cmd_recover(args) -> int:
+    """``repro recover``: fault injection + verified recovery."""
+    interval = int(args.interval_us * 1000)
+    machine = build_machine("cp_parity", interval_ns=interval,
+                            debug_snapshots=True)
+    from repro.workloads.registry import get_workload
+
+    machine.attach_workload(get_workload(args.app, scale=args.scale))
+    horizon = 3 * interval
+    while machine.checkpointing.checkpoints_committed < 2:
+        if machine.all_finished:
+            print("run too short for two checkpoints; raise --scale or "
+                  "lower --interval-us", file=sys.stderr)
+            return 2
+        machine.run(until=horizon)
+        horizon += interval
+    detect = machine.checkpointing.commit_times[2] + int(0.8 * interval)
+    machine.run(until=detect)
+
+    if args.lost_node is not None:
+        NodeLossFault(args.lost_node).apply(machine)
+    else:
+        TransientSystemFault().apply(machine)
+    result = RecoveryManager(machine).recover(detect_time=detect,
+                                              lost_node=args.lost_node,
+                                              target_epoch=1)
+    mismatches = machine.verify_against_snapshot(result.target_epoch)
+    broken = machine.revive.parity.check_all_parity()
+    print(format_table(
+        ["Phase", "us"],
+        [["lost work", f"{result.lost_work_ns / 1e3:.0f}"],
+         ["1: hardware recovery", f"{result.phase1_ns / 1e3:.0f}"],
+         ["2: log rebuild", f"{result.phase2_ns / 1e3:.0f}"],
+         ["3: rollback", f"{result.phase3_ns / 1e3:.0f}"],
+         ["4: background repair",
+          f"{result.phase4_background_ns / 1e3:.0f}"]],
+        title=f"{args.app}: recovery "
+              f"({result.entries_undone} entries undone)"))
+    if mismatches or broken:
+        print(f"VERIFICATION FAILED: {len(mismatches)} mismatching lines, "
+              f"{len(broken)} broken stripes", file=sys.stderr)
+        return 1
+    print("verification: memory bit-exact, parity consistent")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = make_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "table3":
+        return cmd_table3()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "compare":
+        return cmd_compare(args)
+    assert args.command == "recover"
+    return cmd_recover(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

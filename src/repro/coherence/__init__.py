@@ -1,0 +1,13 @@
+"""Full-map directory coherence protocol (DASH-like)."""
+
+from repro.coherence.directory import Directory, DirEntry, DIR_UNCACHED, DIR_SHARED, DIR_EXCLUSIVE
+from repro.coherence.protocol import ProtocolEngine
+
+__all__ = [
+    "Directory",
+    "DirEntry",
+    "ProtocolEngine",
+    "DIR_UNCACHED",
+    "DIR_SHARED",
+    "DIR_EXCLUSIVE",
+]

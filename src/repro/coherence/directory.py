@@ -1,0 +1,83 @@
+"""Full-map directory state, one instance per home node.
+
+Each memory line has (lazily) a directory entry with one of three stable
+states — UNCACHED, SHARED (a sharer set), EXCLUSIVE (a single owner) —
+plus a ``busy_until`` timestamp standing in for the transient states of
+a real controller: a transaction arriving for a busy line waits until
+the line is free, which is how the protocol serialises racing requests
+and how ReVive keeps a line locked until its log entry and parity are
+safely committed (Section 4.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+DIR_UNCACHED, DIR_SHARED, DIR_EXCLUSIVE = 0, 1, 2
+
+_STATE_NAMES = {DIR_UNCACHED: "U", DIR_SHARED: "S", DIR_EXCLUSIVE: "E"}
+
+
+class DirEntry:
+    """Directory state for one memory line."""
+
+    __slots__ = ("state", "sharers", "owner", "busy_until")
+
+    def __init__(self) -> None:
+        self.state = DIR_UNCACHED
+        self.sharers: Set[int] = set()
+        self.owner = -1
+        self.busy_until = 0
+
+    def set_exclusive(self, owner: int) -> None:
+        """Move the entry to EXCLUSIVE with the given owner."""
+        self.state = DIR_EXCLUSIVE
+        self.owner = owner
+        self.sharers.clear()
+
+    def set_shared(self, sharers: Set[int]) -> None:
+        """Move the entry to SHARED with the given sharer set."""
+        self.state = DIR_SHARED
+        self.owner = -1
+        self.sharers = set(sharers)
+
+    def set_uncached(self) -> None:
+        """Clear the entry back to UNCACHED."""
+        self.state = DIR_UNCACHED
+        self.owner = -1
+        self.sharers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DirEntry({_STATE_NAMES[self.state]}, owner={self.owner}, "
+                f"sharers={sorted(self.sharers)})")
+
+
+class Directory:
+    """Lazily-populated map of line address -> :class:`DirEntry`."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._entries: Dict[int, DirEntry] = {}
+
+    def entry(self, line_addr: int) -> DirEntry:
+        """Get (or lazily create) the line's directory entry."""
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            entry = DirEntry()
+            self._entries[line_addr] = entry
+        return entry
+
+    def peek(self, line_addr: int) -> Optional[DirEntry]:
+        """Look up without creating or disturbing state."""
+        return self._entries.get(line_addr)
+
+    def entries(self) -> Iterator[Tuple[int, DirEntry]]:
+        """Iterate over (line address, entry) pairs."""
+        return iter(self._entries.items())
+
+    def clear_all(self) -> None:
+        """Reset every entry (recovery invalidates directory state)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,49 @@
+"""ReVive: the paper's contribution.
+
+Distributed parity protection (`parity`), in-memory pre-image logging
+(`log`), the directory-controller extension tying them into the
+coherence protocol (`controller`), global checkpointing (`checkpoint`),
+multi-phase rollback recovery (`recovery`), fault injection (`faults`),
+and the availability model (`availability`).
+"""
+
+from repro.core.config import ReViveConfig
+from repro.core.parity import ParityEngine
+from repro.core.log import MemoryLog, LogEntry, LogOverflowError
+from repro.core.controller import ReViveController
+from repro.core.checkpoint import CheckpointCoordinator
+from repro.core.recovery import RecoveryManager, RecoveryResult
+from repro.core.faults import NodeLossFault, TransientSystemFault
+from repro.core.availability import (
+    availability,
+    unavailable_time_ms,
+    scale_to_real_interval,
+)
+from repro.core.io import IOManager, IORecord
+from repro.core.detection import (
+    design_space,
+    required_checkpoints,
+    retained_log_bytes,
+)
+
+__all__ = [
+    "ReViveConfig",
+    "ParityEngine",
+    "MemoryLog",
+    "LogEntry",
+    "LogOverflowError",
+    "ReViveController",
+    "CheckpointCoordinator",
+    "RecoveryManager",
+    "RecoveryResult",
+    "NodeLossFault",
+    "TransientSystemFault",
+    "availability",
+    "unavailable_time_ms",
+    "scale_to_real_interval",
+    "IOManager",
+    "IORecord",
+    "design_space",
+    "required_checkpoints",
+    "retained_log_bytes",
+]

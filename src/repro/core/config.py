@@ -1,0 +1,154 @@
+"""ReVive configuration.
+
+The defaults correspond to the paper's evaluated design point: 7+1
+distributed parity, two retained checkpoints, and a checkpoint interval
+scaled to the simulated machine (the paper runs its simulations at 10 ms
+for 128 KB caches standing in for 100 ms on a real 2 MB machine; our
+bench preset scales a further step — see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ReViveConfig:
+    """Parameters of the ReVive mechanisms."""
+
+    #: Data pages per parity stripe (the N of N+1).  1 selects mirroring
+    #: (the degenerate case of Section 3.2.1); 7 is the paper's default.
+    parity_group_size: int = 7
+
+    #: Hybrid protection (Section 6.1's suggestion): this fraction of
+    #: each node's pages — the lowest page indices, which first-touch
+    #: allocation hands to the earliest-touched (hottest) data — is
+    #: mirrored instead of parity-protected.  0 disables the hybrid.
+    mirrored_fraction: float = 0.0
+
+    #: Simulated nanoseconds between global checkpoints.  ``None``
+    #: disables periodic checkpoints (the paper's CpInf configuration,
+    #: which isolates log + parity maintenance overhead).
+    checkpoint_interval_ns: int = 500_000
+
+    #: How many past checkpoints must remain recoverable.  Two suffices
+    #: when the error-detection latency is below one interval
+    #: (Section 3.2.3).
+    keep_checkpoints: int = 2
+
+    #: Worst-case error-detection latency, as a fraction of the
+    #: checkpoint interval (the paper evaluates 80 ms against 100 ms).
+    detection_latency_fraction: float = 0.8
+
+    #: Memory set aside for the log region on each node.
+    log_bytes_per_node: int = 256 * 1024
+
+    #: When a node's log fills past this fraction of its region, an
+    #: early (emergency) checkpoint is requested so reclamation frees
+    #: space before the log overflows — the flexibility Section 3.1
+    #: credits logging with ("we can choose the checkpoint frequency").
+    #: ``None`` disables; CpInf configurations cannot use it (nothing
+    #: ever reclaims their logs).
+    emergency_checkpoint_fraction: "float | None" = 0.85
+
+    #: Pages per node reserved as a parity-protected I/O buffer region
+    #: (the Section 8 extension: output commit + input logging via
+    #: ``core.io.IOManager``).  0 disables I/O buffering.
+    io_buffer_pages: int = 0
+
+    #: L-bit implementation (Section 4.1.2).  ``None``: a full bit per
+    #: memory line.  A positive integer: bits live in a directory cache
+    #: of that many entries, so displaced lines get re-logged
+    #: (occasionally wasteful, always correct).  ``0``: no L bits at
+    #: all — every write-back logs, and recovery relies on reverse-order
+    #: application of duplicate entries.
+    l_bit_capacity: "int | None" = None
+
+    #: Phase-1 hardware recovery time (diagnosis, reconfiguration,
+    #: protocol reset) — 50 ms for a 16-processor machine, from the
+    #: Hive/FLASH measurements the paper cites.
+    hw_recovery_ns: int = 50_000_000
+
+    #: Fraction of the machine devoted to background parity-group
+    #: rebuilding (Phase 4); the paper quotes ~20 s for 2 GB at 50%.
+    rebuild_dedication: float = 0.5
+
+    #: Keep a full memory snapshot at every commit so tests can verify
+    #: rollback bit-for-bit.  Costs host memory, not simulated time.
+    debug_snapshots: bool = False
+
+    def __post_init__(self) -> None:
+        if self.parity_group_size < 1:
+            raise ValueError("parity_group_size must be >= 1 "
+                             "(ReVive always protects memory)")
+        if self.keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be >= 1")
+        if self.checkpoint_interval_ns is not None \
+                and self.checkpoint_interval_ns <= 0:
+            raise ValueError("checkpoint_interval_ns must be positive or None")
+        if not 0.0 <= self.detection_latency_fraction < self.keep_checkpoints:
+            raise ValueError(
+                "detection latency must be below the retained-checkpoint "
+                "window or errors could outlive their logs")
+        if self.log_bytes_per_node <= 0:
+            raise ValueError("log_bytes_per_node must be positive")
+        if not 0.0 < self.rebuild_dedication <= 1.0:
+            raise ValueError("rebuild_dedication must be in (0, 1]")
+        if not 0.0 <= self.mirrored_fraction <= 1.0:
+            raise ValueError("mirrored_fraction must be in [0, 1]")
+        if self.l_bit_capacity is not None and self.l_bit_capacity < 0:
+            raise ValueError("l_bit_capacity must be None or >= 0")
+        if self.emergency_checkpoint_fraction is not None \
+                and not 0.0 < self.emergency_checkpoint_fraction <= 1.0:
+            raise ValueError(
+                "emergency_checkpoint_fraction must be in (0, 1] or None")
+        if self.io_buffer_pages < 0:
+            raise ValueError("io_buffer_pages must be >= 0")
+        if self.mirrored_fraction and self.parity_group_size == 1:
+            raise ValueError("hybrid protection is redundant under pure "
+                             "mirroring (parity_group_size=1)")
+
+    @property
+    def mirroring(self) -> bool:
+        """True for the pure-mirroring (1+1) configuration."""
+        return self.parity_group_size == 1
+
+    @property
+    def detection_latency_ns(self) -> int:
+        """Absolute worst-case detection latency."""
+        if self.checkpoint_interval_ns is None:
+            return 0
+        return int(self.checkpoint_interval_ns
+                   * self.detection_latency_fraction)
+
+    # -- the paper's four evaluated configurations -------------------------
+
+    @classmethod
+    def cp_parity(cls, interval_ns: int = 500_000, **kw) -> "ReViveConfig":
+        """Periodic checkpoints with 7+1 parity (the paper's Cp10ms)."""
+        return cls(parity_group_size=7, checkpoint_interval_ns=interval_ns,
+                   **kw)
+
+    @classmethod
+    def cpinf_parity(cls, **kw) -> "ReViveConfig":
+        """No periodic checkpoints, 7+1 parity (CpInf)."""
+        return cls(parity_group_size=7, checkpoint_interval_ns=None, **kw)
+
+    @classmethod
+    def cp_mirroring(cls, interval_ns: int = 500_000, **kw) -> "ReViveConfig":
+        """Periodic checkpoints with mirroring (Cp10msM)."""
+        return cls(parity_group_size=1, checkpoint_interval_ns=interval_ns,
+                   **kw)
+
+    @classmethod
+    def cpinf_mirroring(cls, **kw) -> "ReViveConfig":
+        """No periodic checkpoints, mirroring (CpInfM)."""
+        return cls(parity_group_size=1, checkpoint_interval_ns=None, **kw)
+
+    @classmethod
+    def cp_hybrid(cls, interval_ns: int = 500_000,
+                  mirrored_fraction: float = 0.25, **kw) -> "ReViveConfig":
+        """Hybrid: hottest pages mirrored, the rest 7+1 parity
+        (the extension Section 6.1 proposes)."""
+        return cls(parity_group_size=7, checkpoint_interval_ns=interval_ns,
+                   mirrored_fraction=mirrored_fraction, **kw)

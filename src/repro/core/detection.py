@@ -1,0 +1,97 @@
+"""Error-detection-latency design space (Sections 3.1.2, 3.2.3, 3.3.2).
+
+ReVive assumes fail-stop behaviour for its own hardware but tolerates a
+*bounded* detection latency for everything else: an error may be
+noticed up to L after it happened, and recovery must roll back to a
+checkpoint that precedes the error.  The latency bound drives two
+design parameters:
+
+* **Retention** — how many past checkpoints must stay recoverable:
+  an error just before commit k, detected L later, may be noticed
+  after ``floor(L / interval)`` further commits, so
+  ``ceil(L / interval) + 1`` checkpoints of log must be retained.
+* **Log space** — retained epochs multiply the worst-case log bytes.
+
+Combined with the availability model this yields the design-space
+sweep the paper's Section 3.3.2 walks through for its 100 ms / 80 ms
+choice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.availability import availability, NS_PER_DAY
+
+
+def required_checkpoints(detection_latency_ns: int,
+                         interval_ns: int) -> int:
+    """Checkpoints that must remain recoverable (Section 3.2.3).
+
+    With latency below one interval this is the paper's "two most
+    recent checkpoints"; longer latencies need proportionally more.
+    """
+    if interval_ns <= 0:
+        raise ValueError("interval must be positive")
+    if detection_latency_ns < 0:
+        raise ValueError("detection latency cannot be negative")
+    return math.ceil(detection_latency_ns / interval_ns) + 1
+
+
+def worst_case_rollback_epochs(detection_latency_ns: int,
+                               interval_ns: int) -> int:
+    """How many commits back the recovery target can lie."""
+    return required_checkpoints(detection_latency_ns, interval_ns) - 1
+
+
+def retained_log_bytes(per_epoch_bytes: int, detection_latency_ns: int,
+                       interval_ns: int) -> int:
+    """Worst-case log footprint for the retention the latency demands."""
+    if per_epoch_bytes < 0:
+        raise ValueError("per_epoch_bytes cannot be negative")
+    return per_epoch_bytes * required_checkpoints(detection_latency_ns,
+                                                  interval_ns)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One (interval, detection latency) configuration evaluated."""
+
+    interval_ns: int
+    detection_latency_ns: int
+    keep_checkpoints: int
+    worst_lost_work_ns: int
+    unavailable_ns: int
+    availability_at_1_per_day: float
+    log_bytes: int
+
+
+def design_space(intervals_ns: List[int], latencies_ns: List[int],
+                 recovery_overhead_ns: int,
+                 per_epoch_log_bytes: int) -> List[DesignPoint]:
+    """Sweep the (interval, latency) plane (the Section 3.3.2 analysis).
+
+    ``recovery_overhead_ns`` is the latency-independent downtime:
+    hardware recovery plus the measured ReVive Phases 2+3.
+    ``per_epoch_log_bytes`` scales the retention cost.
+    """
+    points = []
+    for interval in intervals_ns:
+        for latency in latencies_ns:
+            keep = required_checkpoints(latency, interval)
+            lost = interval + latency           # error just before commit
+            unavailable = lost + recovery_overhead_ns
+            points.append(DesignPoint(
+                interval_ns=interval,
+                detection_latency_ns=latency,
+                keep_checkpoints=keep,
+                worst_lost_work_ns=lost,
+                unavailable_ns=unavailable,
+                availability_at_1_per_day=availability(NS_PER_DAY,
+                                                       unavailable),
+                log_bytes=retained_log_bytes(per_epoch_log_bytes, latency,
+                                             interval),
+            ))
+    return points

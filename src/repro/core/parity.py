@@ -1,0 +1,192 @@
+"""Hardware-maintained distributed parity (Section 3.2.1).
+
+Every write of main memory produces a parity update ``U = D XOR D'``
+that the home directory controller sends to the parity page's home,
+where the old parity is read, XORed with ``U``, and written back, then
+acknowledged.  Mirroring (1+1 groups) short-circuits the XORs: the new
+data value is simply written to the mirror page (the paper's degenerate
+case, saving the two reads).
+
+The engine owns both the *functional* parity contents (stored in the
+parity nodes' ``NodeMemory`` like any other line) and the *timing* of
+the update round-trip, and provides the reconstruction primitive used
+by recovery: any lost line equals the XOR of its surviving stripe
+members.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.memory.layout import ParityGeometry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.system import Machine
+
+
+class ParityEngine:
+    """Distributed parity maintenance and reconstruction."""
+
+    def __init__(self, machine: "Machine", geometry: ParityGeometry) -> None:
+        if not geometry.enabled:
+            raise ValueError("ParityEngine requires an enabled geometry")
+        self.machine = machine
+        self.geometry = geometry
+        self.config = machine.config
+        self.stats = machine.stats
+        self.updates = 0
+
+    # -- address helpers ---------------------------------------------------
+
+    def parity_line_of(self, line_addr: int) -> int:
+        """Physical address of the parity line covering a data line."""
+        space = self.machine.addr_space
+        node = space.node_of(line_addr)
+        ppage = space.page_of(line_addr)
+        parity_node, parity_page = self.geometry.parity_location(node, ppage)
+        offset = line_addr % self.config.page_size
+        return space.page_base(parity_node, parity_page) + offset
+
+    def is_mirrored_line(self, line_addr: int) -> bool:
+        """Does this line's stripe use mirroring (no read-modify-write)?"""
+        space = self.machine.addr_space
+        return self.geometry.is_mirrored_page(space.node_of(line_addr),
+                                              space.page_of(line_addr))
+
+    def peer_lines_of(self, line_addr: int) -> List[int]:
+        """The other stripe members (data + parity) of any line."""
+        space = self.machine.addr_space
+        node = space.node_of(line_addr)
+        ppage = space.page_of(line_addr)
+        offset = line_addr % self.config.page_size
+        return [space.page_base(n, p) + offset
+                for n, p in self.geometry.stripe_of(node, ppage)
+                if n != node]
+
+    # -- error-free operation ------------------------------------------------
+
+    def apply_update(self, line_addr: int, old_value: int,
+                     new_value: int) -> None:
+        """Functionally fold one data-line write into its parity line.
+
+        With mirroring the parity (mirror) line simply takes the new
+        value.  Timing is charged separately by :meth:`time_update` so
+        the directory controller can write-combine metadata-line parity
+        while keeping contents exact.
+        """
+        space = self.machine.addr_space
+        parity_line = self.parity_line_of(line_addr)
+        parity_node = self.machine.nodes[space.node_of(parity_line)]
+        if self.is_mirrored_line(line_addr):
+            parity_node.memory.write_line(parity_line, new_value)
+        else:
+            old_parity = parity_node.memory.read_line(parity_line)
+            parity_node.memory.write_line(
+                parity_line, old_parity ^ old_value ^ new_value)
+
+    def time_update(self, line_addr: int, at: int,
+                    sequential: bool = False) -> int:
+        """Charge the timing and traffic of one parity-update round trip.
+
+        Update message to the parity home, parity read + write there
+        (just the write under mirroring), and the acknowledgment back.
+        Returns the ack's arrival time at the data's home node.
+        ``sequential`` marks log-region updates, whose parity is
+        accessed in order and hits open DRAM rows.
+        """
+        space = self.machine.addr_space
+        network = self.machine.network
+        home_id = space.node_of(line_addr)
+        parity_line = self.parity_line_of(line_addr)
+        parity_home = space.node_of(parity_line)
+        parity_node = self.machine.nodes[parity_home]
+
+        arrive = network.send_line(home_id, parity_home, at, "PAR")
+        if self.is_mirrored_line(line_addr):
+            done = parity_node.mem_timing.access(arrive, row_hit=sequential)
+            self.stats.memory_traffic.add("PAR", self.config.line_size)
+        else:
+            read_done = parity_node.mem_timing.access(arrive,
+                                                      row_hit=sequential)
+            self.stats.memory_traffic.add("PAR", self.config.line_size)
+            done = parity_node.mem_timing.access(read_done, row_hit=True)
+            self.stats.memory_traffic.add("PAR", self.config.line_size)
+        ack = network.send_control(parity_home, home_id, done, "PAR")
+        self.updates += 1
+        return ack
+
+    def update_for_write(self, line_addr: int, old_value: int,
+                         new_value: int, at: int,
+                         sequential: bool = False) -> int:
+        """Functional + timed parity update for one memory write."""
+        self.apply_update(line_addr, old_value, new_value)
+        return self.time_update(line_addr, at, sequential=sequential)
+
+    # -- reconstruction (used by recovery, Phases 2-4) -------------------------
+
+    def reconstruct_line(self, line_addr: int) -> int:
+        """Recompute a lost line by XORing its surviving stripe members.
+
+        With mirroring this degenerates to reading the single peer.
+        Purely functional; recovery charges timing separately because
+        reconstruction is batched page-at-a-time.
+        """
+        space = self.machine.addr_space
+        value = 0
+        for peer in self.peer_lines_of(line_addr):
+            peer_node = self.machine.nodes[space.node_of(peer)]
+            value ^= peer_node.memory.read_line(peer)
+        return value
+
+    def recompute_parity_line(self, parity_line: int) -> int:
+        """Recompute a parity line from its data members (stripe repair)."""
+        space = self.machine.addr_space
+        node = space.node_of(parity_line)
+        ppage = space.page_of(parity_line)
+        offset = parity_line % self.config.page_size
+        value = 0
+        for data_node, data_page in self.geometry.stripe_data_pages(node,
+                                                                    ppage):
+            member = space.page_base(data_node, data_page) + offset
+            value ^= self.machine.nodes[data_node].memory.read_line(member)
+        return value
+
+    # -- invariants (tests and post-recovery verification) ----------------------
+
+    def check_stripe(self, parity_node: int, ppage: int) -> bool:
+        """True when a parity page equals the XOR of its data pages."""
+        space = self.machine.addr_space
+        for parity_line in space.lines_of_page(parity_node, ppage):
+            stored = self.machine.nodes[parity_node].memory.read_line(
+                parity_line)
+            if stored != self.recompute_parity_line(parity_line):
+                return False
+        return True
+
+    def check_all_parity(self) -> List[Tuple[int, int]]:
+        """Exhaustive parity scan; returns the list of broken stripes.
+
+        Only stripes containing at least one touched page are scanned —
+        untouched stripes are all-zero and trivially consistent.
+        """
+        space = self.machine.addr_space
+        touched = set(space.mapped_physical_pages())
+        for node in range(self.config.n_nodes):
+            for ppage in self.machine.reserved_pages_of(node):
+                touched.add((node, ppage))
+        broken = []
+        checked = set()
+        for node, ppage in touched:
+            parity_node, parity_page = self.geometry.parity_location(node,
+                                                                     ppage)
+            key = (parity_node, parity_page)
+            if key in checked:
+                continue
+            checked.add(key)
+            if not self.check_stripe(parity_node, parity_page):
+                broken.append(key)
+        return broken
+
+    def memory_overhead_fraction(self) -> float:
+        """Fraction of main memory consumed by parity (Section 6.2)."""
+        return self.geometry.parity_fraction()

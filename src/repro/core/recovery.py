@@ -1,0 +1,374 @@
+"""Rollback recovery (Section 3.2.4, Figure 7).
+
+Recovery runs in four phases:
+
+* **Phase 1** — hardware recovery: diagnosis, reconfiguration, protocol
+  reset.  Outside the paper's scope; a fixed cost (50 ms for 16
+  processors, from the Hive/FLASH numbers the paper adopts).
+* **Phase 2** — only after memory loss: the lost node's *log region* is
+  reconstructed line-by-line by XORing the surviving members of each
+  stripe.  Afterwards the log is decoded from the rebuilt bytes alone.
+* **Phase 3** — rollback: every node's log entries belonging to epochs
+  newer than the recovery target are applied *newest first*, restoring
+  each line's checkpoint pre-image.  Lost data pages touched by the
+  rollback are rebuilt from parity on demand before entries land in
+  them.  At the end the caches and directories are invalidated and
+  execution may resume.
+* **Phase 4** — background repair: every remaining stripe damaged by the
+  node loss is rebuilt.  The machine is *available* during this phase;
+  its time is reported separately and never counted as downtime.
+
+The functional side is exact — recovery operates on real line values
+and is verified bit-for-bit against golden checkpoint snapshots — while
+phase durations come from a cost model over the machine's bandwidth
+parameters (reads are batched page-at-a-time across all surviving
+processors, so per-access resource walks would misrepresent the
+pipelining; see the cost helpers at the bottom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.system import Machine
+
+
+@dataclass
+class RecoveryResult:
+    """Everything measured about one recovery."""
+
+    target_epoch: int
+    lost_node: Optional[int]
+    detect_time: int
+    lost_work_ns: int
+    phase1_ns: int
+    phase2_ns: int
+    phase3_ns: int
+    phase4_background_ns: int
+    entries_undone: int = 0
+    log_lines_rebuilt: int = 0
+    pages_rebuilt_during_rollback: int = 0
+    pages_rebuilt_background: int = 0
+    resume_time: int = 0
+
+    @property
+    def unavailable_ns(self) -> int:
+        """Downtime as the paper counts it: lost work + Phases 1-3."""
+        return (self.lost_work_ns + self.phase1_ns + self.phase2_ns
+                + self.phase3_ns)
+
+    @property
+    def revive_recovery_ns(self) -> int:
+        """Figure 12's quantity: Phases 2 + 3 only."""
+        return self.phase2_ns + self.phase3_ns
+
+    def breakdown(self) -> Dict[str, int]:
+        """The Figure 12 components as a dict of nanoseconds."""
+        return {
+            "lost_work": self.lost_work_ns,
+            "hw_recovery": self.phase1_ns,
+            "log_rebuild": self.phase2_ns,
+            "rollback": self.phase3_ns,
+        }
+
+
+class RecoveryManager:
+    """Executes rollback recovery against a machine."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.config = machine.config
+        self.revive_config = machine.revive_config
+
+    # -- public entry point ----------------------------------------------------
+
+    def recover(self, detect_time: int, lost_node: Optional[int] = None,
+                target_epoch: Optional[int] = None) -> RecoveryResult:
+        """Run full recovery.  The fault must already be applied.
+
+        ``target_epoch`` defaults to the worst case the paper evaluates:
+        the error occurred just before the latest commit, so the system
+        rolls back to the *second* most recent checkpoint.
+        """
+        machine = self.machine
+        if lost_node is None:
+            lost = [node.node_id for node in machine.nodes
+                    if node.memory.lost]
+            if len(lost) > 1:
+                raise RuntimeError(
+                    f"nodes {lost} lost memory simultaneously — beyond "
+                    f"ReVive's single-node fault model (Section 3.1.2)")
+            if lost:
+                lost_node = lost[0]
+        phase1_ns = self.revive_config.hw_recovery_ns
+
+        # Phase 1 side effects: wipe caches and directory state.
+        for node in machine.nodes:
+            node.hierarchy.clear()
+            node.directory.clear_all()
+
+        # Phase 2 must precede commit-record inspection: the lost
+        # node's log region is unreadable until rebuilt from parity.
+        phase2_ns = 0
+        log_lines_rebuilt = 0
+        if lost_node is not None:
+            phase2_ns, log_lines_rebuilt = self._rebuild_lost_log(lost_node)
+
+        committed = self.determine_committed_epoch()
+        if target_epoch is None:
+            target_epoch = max(0, committed - 1)
+        if target_epoch > committed:
+            raise ValueError(
+                f"cannot recover to epoch {target_epoch}: only {committed} "
+                f"checkpoints are committed")
+        oldest_kept = max(0, committed - (self.revive_config.keep_checkpoints
+                                          - 1))
+        if target_epoch < oldest_kept:
+            raise ValueError(
+                f"epoch {target_epoch} was reclaimed (oldest kept: "
+                f"{oldest_kept}); increase keep_checkpoints")
+
+        lost_work_ns = max(
+            0, detect_time - machine.commit_time_of_epoch(target_epoch))
+
+        phase3_ns, entries, pages_on_demand = self._rollback(
+            target_epoch, committed, lost_node)
+
+        phase4_ns, pages_background = self._background_repair(lost_node)
+
+        # Logs and epochs resume from the recovery target.
+        for log in machine.revive.logs.values():
+            log.reset_to_epoch(target_epoch)
+        machine.truncate_checkpoint_history(target_epoch)
+        if machine.io_manager is not None:
+            # Unreleased outputs from the undone interval never became
+            # external; drop them (released history is untouchable).
+            machine.io_manager.on_rollback(target_epoch)
+
+        result = RecoveryResult(
+            target_epoch=target_epoch,
+            lost_node=lost_node,
+            detect_time=detect_time,
+            lost_work_ns=lost_work_ns,
+            phase1_ns=phase1_ns,
+            phase2_ns=phase2_ns,
+            phase3_ns=phase3_ns,
+            phase4_background_ns=phase4_ns,
+            entries_undone=entries,
+            log_lines_rebuilt=log_lines_rebuilt,
+            pages_rebuilt_during_rollback=pages_on_demand,
+            pages_rebuilt_background=pages_background,
+        )
+        result.resume_time = detect_time + result.phase1_ns \
+            + result.phase2_ns + result.phase3_ns
+        machine.stats.counter("recovery.count").add()
+        machine.stats.counter("recovery.entries_undone").add(entries)
+        return result
+
+    # -- committed-epoch determination (two-phase commit evidence) -------------
+
+    def determine_committed_epoch(self) -> int:
+        """Last checkpoint committed on *every* node, from memory alone.
+
+        Reads the durable commit records out of each node's (possibly
+        just rebuilt) log region.  A checkpoint counts as established
+        only if every node holds its record — exactly the guarantee the
+        two barriers of Section 4.2's Checkpoint Commit Race provide.
+        """
+        machine = self.machine
+        global_commit = None
+        for node in machine.nodes:
+            log = machine.revive.logs[node.node_id]
+            records = log.find_commit_records(node.memory.read_line)
+            node_max = max((r.value for r in records), default=0)
+            if global_commit is None or node_max < global_commit:
+                global_commit = node_max
+        return global_commit or 0
+
+    # -- Phase 2 -----------------------------------------------------------------
+
+    def _rebuild_lost_log(self, lost_node: int) -> Tuple[int, int]:
+        """Reconstruct the lost node's log region from parity.
+
+        Time is charged for a two-pass rebuild — first the metadata
+        lines (one per block), whose markers reveal which entry slots
+        are live, then only the live entry lines — so Phase 2 grows
+        with the *log contents*, as the paper states, not with the
+        region's reserved size.  Functionally the whole region is
+        restored (the dead lines are free to recompute and keep the
+        parity invariant checkable).
+        """
+        machine = self.machine
+        memory = machine.nodes[lost_node].memory
+        if not memory.lost:
+            raise RuntimeError(
+                f"node {lost_node} memory is intact; Phase 2 not needed")
+        parity = machine.revive.parity
+        for line_addr in machine.log_region_lines(lost_node):
+            memory.restore_line(line_addr, parity.reconstruct_line(line_addr))
+        memory.mark_recovered()
+        log = machine.revive.logs[lost_node]
+        meta_lines = log.n_blocks
+        live_entries = len(log.decode_region(memory.read_line))
+        timed_lines = meta_lines + live_entries
+        workers = self.config.n_nodes - 1
+        phase2_ns = (timed_lines * self._line_rebuild_cost_ns()
+                     // max(1, workers))
+        return phase2_ns, timed_lines
+
+    # -- Phase 3 ------------------------------------------------------------------
+
+    def _rollback(self, target_epoch: int, committed: int,
+                  lost_node: Optional[int]) -> Tuple[int, int, int]:
+        """Apply log entries newest-first; rebuild lost pages on demand.
+
+        Every restore travels the same parity-maintaining write path the
+        hardware uses, except when the stripe's parity page sits on the
+        lost node — those stripes are repaired wholesale in Phase 4.
+        Keeping parity live during the rollback is what makes on-demand
+        page reconstruction sound: a lost page is rebuilt from stripe
+        members that may themselves have been rolled back already.
+        """
+        machine = self.machine
+        space = machine.addr_space
+        total_entries = 0
+        pages_rebuilt = 0
+        per_node_cost: List[int] = []
+        self._rebuilt_pages: Set[Tuple[int, int]] = set()
+
+        for node in machine.nodes:
+            log = machine.revive.logs[node.node_id]
+            entries = log.entries_to_undo(target_epoch, committed,
+                                          node.memory.read_line)
+            cost = 0
+            for entry in entries:
+                page_key = (node.node_id, space.page_of(entry.addr))
+                if (lost_node is not None and node.node_id == lost_node
+                        and page_key not in self._rebuilt_pages):
+                    # Restoring into a lost page: rebuild its stripe
+                    # member first so unlogged lines recover too.
+                    self._rebuild_page(*page_key)
+                    self._rebuilt_pages.add(page_key)
+                    pages_rebuilt += 1
+                    cost += self._page_rebuild_cost_ns()
+                self._restore_line(node.node_id, entry.addr, entry.value,
+                                   lost_node)
+                cost += self._entry_restore_cost_ns()
+                total_entries += 1
+            per_node_cost.append(cost)
+
+        if lost_node is not None:
+            # The lost node's log is replayed by the survivors; spread
+            # its cost across them for the duration estimate.
+            lost_cost = per_node_cost[lost_node]
+            per_node_cost[lost_node] = 0
+            workers = max(1, self.config.n_nodes - 1)
+            per_node_cost = [c + lost_cost // workers for c in per_node_cost]
+
+        phase3_ns = max(per_node_cost) if per_node_cost else 0
+        return phase3_ns, total_entries, pages_rebuilt
+
+    def _restore_line(self, node_id: int, line_addr: int, value: int,
+                      lost_node: Optional[int]) -> None:
+        """Write one line through the parity-maintaining restore path.
+
+        Stripes whose parity page lives on the lost node are skipped —
+        their parity is recomputed from data at the end of Phase 4.
+        """
+        machine = self.machine
+        memory = machine.nodes[node_id].memory
+        parity = machine.revive.parity
+        parity_line = parity.parity_line_of(line_addr)
+        parity_home = machine.addr_space.node_of(parity_line)
+        if parity_home != lost_node:
+            parity.apply_update(line_addr, memory.read_line(line_addr),
+                                value)
+        memory.restore_line(line_addr, value)
+
+    def _rebuild_page(self, node: int, ppage: int) -> None:
+        """Functionally reconstruct one lost page from its stripe.
+
+        The reconstructed values are exactly what the live parity
+        already accounts for, so these writes must *not* fold into the
+        parity again.
+        """
+        machine = self.machine
+        memory = machine.nodes[node].memory
+        parity = machine.revive.parity
+        for line_addr in machine.addr_space.lines_of_page(node, ppage):
+            memory.restore_line(line_addr, parity.reconstruct_line(line_addr))
+
+    # -- Phase 4 --------------------------------------------------------------------
+
+    def _background_repair(self,
+                           lost_node: Optional[int]) -> Tuple[int, int]:
+        """Repair every stripe the recovery left damaged.
+
+        Functionally: (a) rebuild the lost node's remaining pages from
+        parity, and (b) recompute every parity line whose stripe was
+        touched by rollback writes (rollback bypasses the normal
+        parity-update path, as the paper's Phase 4 does).  The returned
+        duration models the machine at ``rebuild_dedication`` of its
+        capacity; the system is available throughout.
+        """
+        machine = self.machine
+        space = machine.addr_space
+        parity = machine.revive.parity
+        pages_rebuilt = 0
+
+        if lost_node is not None:
+            memory = machine.nodes[lost_node].memory
+            already = getattr(self, "_rebuilt_pages", set())
+            # Remaining data pages of the lost node (mapped ones not
+            # already rebuilt on demand during the rollback).
+            for node_id, ppage in space.mapped_physical_pages():
+                if node_id != lost_node or (node_id, ppage) in already:
+                    continue
+                self._rebuild_page(node_id, ppage)
+                pages_rebuilt += 1
+            # The system page (context lines) lives outside the mapped set.
+            system_page = machine.system_page(lost_node)
+            if (lost_node, system_page) not in already:
+                self._rebuild_page(lost_node, system_page)
+                pages_rebuilt += 1
+
+        # Recompute parity for every touched stripe (cheap functionally;
+        # covered by the same background duration estimate).
+        touched = set(space.mapped_physical_pages())
+        for node in machine.nodes:
+            for ppage in machine.reserved_pages_of(node.node_id):
+                touched.add((node.node_id, ppage))
+        parity_pages = set()
+        for node_id, ppage in touched:
+            parity_pages.add(parity.geometry.parity_location(node_id, ppage))
+        for parity_node, parity_page in sorted(parity_pages):
+            target = machine.nodes[parity_node].memory
+            for line_addr in space.lines_of_page(parity_node, parity_page):
+                target.restore_line(line_addr,
+                                    parity.recompute_parity_line(line_addr))
+            if lost_node is not None and parity_node == lost_node:
+                pages_rebuilt += 1
+
+        workers = self.config.n_nodes - (1 if lost_node is not None else 0)
+        effective = max(1e-9, workers * self.revive_config.rebuild_dedication)
+        phase4_ns = int(pages_rebuilt * self._page_rebuild_cost_ns()
+                        / effective)
+        return phase4_ns, pages_rebuilt
+
+    # -- cost model --------------------------------------------------------------------
+
+    def _line_rebuild_cost_ns(self) -> int:
+        """Gathering one line's stripe peers and writing the result."""
+        group = self.machine.revive.parity.geometry.group_size
+        transfer = self.config.line_size / self.config.link_bytes_per_ns
+        return int(group * (self.config.mem_row_hit_ns + transfer)
+                   + self.config.mem_row_hit_ns)
+
+    def _page_rebuild_cost_ns(self) -> int:
+        return self._line_rebuild_cost_ns() * self.config.lines_per_page
+
+    def _entry_restore_cost_ns(self) -> int:
+        """Read a log entry (sequential) and write the data line back."""
+        return self.config.mem_row_hit_ns + self.config.mem_row_miss_ns

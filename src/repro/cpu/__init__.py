@@ -1,0 +1,5 @@
+"""Processor timing model and per-processor workload execution."""
+
+from repro.cpu.processor import Processor, BARRIER_POLL_NS
+
+__all__ = ["Processor", "BARRIER_POLL_NS"]

@@ -1,0 +1,155 @@
+"""Processor model: a workload-driven memory-reference engine.
+
+The paper's 6-issue dynamic superscalar core is abstracted into a
+reference stream with inter-reference gaps (already scaled by IPC in
+the workload generator).  Hits add the L1/L2 latency; misses block the
+processor until the directory transaction completes — an in-order
+approximation whose error is second-order for ReVive, because every
+ReVive action is off the critical path by design (Table 1).
+
+A processor is a simulator *actor*: each activation runs references
+until the batch quantum expires (bounding the time skew between
+processors, which is what keeps the busy-until contention model
+honest) or until a miss/barrier yields a natural scheduling point.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.cache.hierarchy import HIT, NEED_GETS, NEED_GETX, NEED_UPGRADE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.system import Machine
+
+#: Re-check period for a processor parked at a workload barrier.
+BARRIER_POLL_NS = 500
+
+
+class Processor:
+    """One node's processor, consuming a workload reference stream."""
+
+    def __init__(self, machine: "Machine", node_id: int,
+                 stream: Iterator) -> None:
+        self.machine = machine
+        self.node_id = node_id
+        self.time = 0
+        self.finished = False
+        self.killed = False
+        self.finish_time: Optional[int] = None
+        self.mem_refs = 0
+        self._stream = stream
+        self._gaps: List[int] = []
+        self._vaddrs: List[int] = []
+        self._writes: List[bool] = []
+        self._index = 0
+        self._barrier_index = 0          # how many barriers passed
+        self._waiting_barrier = False
+
+    # -- simulator actor protocol ------------------------------------------
+
+    def __call__(self, now: int) -> Optional[int]:
+        if self.finished:
+            return None
+        if now > self.time:
+            self.time = now
+        if self._waiting_barrier:
+            release = self.machine.barrier_release_time(self._barrier_index)
+            if release is None:
+                return self.time + BARRIER_POLL_NS
+            self._waiting_barrier = False
+            self._barrier_index += 1
+            if release > self.time:
+                self.time = release
+        return self._run_batch()
+
+    def kill(self) -> None:
+        """Node loss: the processor stops issuing references."""
+        self.finished = True
+        self.killed = True
+
+    # -- execution ---------------------------------------------------------------
+
+    def _run_batch(self) -> Optional[int]:
+        machine = self.machine
+        config = machine.config
+        hierarchy = machine.nodes[self.node_id].hierarchy
+        protocol = machine.protocol
+        translate = machine.addr_space.translate_line
+        deadline = self.time + config.batch_quantum_ns
+        overlap = config.miss_overlap
+
+        while True:
+            if self._index >= len(self._vaddrs):
+                outcome = self._next_chunk()
+                if outcome is not None:
+                    return outcome if outcome >= 0 else None
+                continue
+            i = self._index
+            self.time += self._gaps[i]
+            line_addr = translate(self._vaddrs[i], self.node_id)
+            is_write = self._writes[i]
+            self._index = i + 1
+            self.mem_refs += 1
+
+            result = hierarchy.probe(line_addr, is_write)
+            if result.need == HIT:
+                self.time += (config.l1_hit_ns if result.l1_hit
+                              else config.l2_hit_ns)
+            else:
+                if result.need == NEED_UPGRADE:
+                    done = protocol.write(self.node_id, line_addr,
+                                          self.time, upgrade=True)
+                elif result.need == NEED_GETX:
+                    done = protocol.write(self.node_id, line_addr,
+                                          self.time, upgrade=False)
+                else:
+                    assert result.need == NEED_GETS
+                    done = protocol.read(self.node_id, line_addr, self.time)
+                # The OOO core overlaps misses; charge 1/overlap of the
+                # transaction latency as architectural stall.
+                self.time += int((done - self.time) / overlap)
+            if is_write:
+                hierarchy.write_value(line_addr,
+                                      machine.next_store_value())
+            if self.time >= deadline:
+                return self.time
+
+    def _next_chunk(self) -> Optional[int]:
+        """Advance the stream.  Returns None to keep executing, a
+        non-negative time to resched at, or -1 when the stream ends."""
+        try:
+            chunk = next(self._stream)
+        except StopIteration:
+            self.finished = True
+            self.finish_time = self.time
+            self.machine.note_processor_finished(self)
+            return -1
+        if chunk[0] == "warmup_done":
+            # First processor past this marker resets runtime statistics,
+            # so reported rates reflect steady state, not first-touch
+            # compulsory misses (all processors cross it together,
+            # straight after a barrier).
+            self.machine.note_warmup_done()
+            return None
+        if chunk[0] == "barrier":
+            release = self.machine.barrier_arrive(self._barrier_index,
+                                                  self.node_id, self.time)
+            self._gaps, self._vaddrs, self._writes = [], [], []
+            self._index = 0
+            if release is not None:
+                self._barrier_index += 1
+                self.time = max(self.time, release)
+                return None
+            self._waiting_barrier = True
+            return self.time + BARRIER_POLL_NS
+        _tag, gaps, vaddrs, writes = chunk
+        # tolist() turns numpy arrays into plain ints/bools, which the
+        # inner loop iterates several times faster.
+        self._gaps = gaps.tolist() if hasattr(gaps, "tolist") else list(gaps)
+        self._vaddrs = (vaddrs.tolist() if hasattr(vaddrs, "tolist")
+                        else list(vaddrs))
+        self._writes = (writes.tolist() if hasattr(writes, "tolist")
+                        else list(writes))
+        self._index = 0
+        return None

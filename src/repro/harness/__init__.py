@@ -1,0 +1,13 @@
+"""Experiment harness: single-run driver, per-figure/table experiment
+drivers, and plain-text reporting."""
+
+from repro.harness.runner import (
+    RunResult,
+    VARIANTS,
+    build_machine,
+    run_app,
+)
+from repro.harness.reporting import format_table
+
+__all__ = ["RunResult", "VARIANTS", "build_machine", "run_app",
+           "format_table"]

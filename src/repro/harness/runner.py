@@ -1,0 +1,139 @@
+"""Single-simulation driver used by every benchmark and example.
+
+The paper evaluates five system configurations (Section 6.1):
+
+====================  =====================================================
+``baseline``          no recovery support at all
+``cp_parity``         ReVive, 7+1 parity, periodic checkpoints (Cp10ms)
+``cpinf_parity``      ReVive, 7+1 parity, no periodic checkpoints (CpInf)
+``cp_mirroring``      ReVive, mirroring, periodic checkpoints (Cp10msM)
+``cpinf_mirroring``   ReVive, mirroring, no periodic checkpoints (CpInfM)
+====================  =====================================================
+
+The bench preset checkpoints every ``DEFAULT_INTERVAL_NS`` (the third
+step of the scaling chain documented in DESIGN.md §2: the paper maps
+100 ms on real 2 MB caches to 10 ms on its simulated 128 KB caches; we
+map a further cache shrink onto a proportionally shorter interval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import ReViveConfig
+from repro.machine.config import MachineConfig
+from repro.machine.system import Machine
+from repro.workloads.registry import get_workload
+
+#: Checkpoint interval of the bench preset (simulated ns).
+DEFAULT_INTERVAL_NS = 250_000
+
+#: Log region used by the bench harness.  Sized so that even Radix —
+#: whose first-touch initialisation logs its entire 1 MB key array —
+#: fits with margin, including the CpInf variants that never reclaim.
+BENCH_LOG_BYTES = 2 * 1024 * 1024
+
+VARIANTS = ("baseline", "cp_parity", "cpinf_parity", "cp_mirroring",
+            "cpinf_mirroring")
+
+#: Paper-facing labels (Figure 8's bar names).
+VARIANT_LABELS = {
+    "baseline": "Base",
+    "cp_parity": "Cp10ms",
+    "cpinf_parity": "CpInf",
+    "cp_mirroring": "Cp10msM",
+    "cpinf_mirroring": "CpInfM",
+}
+
+
+@dataclass
+class RunResult:
+    """Everything the figures need from one simulation."""
+
+    app: str
+    variant: str
+    execution_time_ns: int
+    total_refs: int
+    l2_miss_rate: float
+    network_traffic: Dict[str, int]
+    memory_traffic: Dict[str, int]
+    checkpoints: int
+    max_log_bytes: int
+    instructions: float
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def overhead_vs(self, baseline: "RunResult") -> float:
+        """Fractional slowdown relative to a baseline run."""
+        if baseline.execution_time_ns <= 0:
+            raise ValueError("baseline has no execution time")
+        return (self.execution_time_ns / baseline.execution_time_ns) - 1.0
+
+
+def revive_config_for(variant: str,
+                      interval_ns: int = DEFAULT_INTERVAL_NS,
+                      **overrides) -> Optional[ReViveConfig]:
+    """The ReVive configuration of a named variant (None for baseline)."""
+    if variant == "baseline":
+        return None
+    group = 1 if variant.endswith("mirroring") else 7
+    interval = None if variant.startswith("cpinf") else interval_ns
+    kwargs = dict(parity_group_size=group, checkpoint_interval_ns=interval,
+                  log_bytes_per_node=BENCH_LOG_BYTES)
+    kwargs.update(overrides)
+    return ReViveConfig(**kwargs)
+
+
+def build_machine(variant: str = "cp_parity",
+                  machine_config: Optional[MachineConfig] = None,
+                  interval_ns: int = DEFAULT_INTERVAL_NS,
+                  **revive_overrides) -> Machine:
+    """Assemble a machine for one of the five evaluated variants."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; "
+                         f"choose from {VARIANTS}")
+    config = machine_config or MachineConfig.bench()
+    return Machine(config,
+                   revive_config_for(variant, interval_ns,
+                                     **revive_overrides))
+
+
+def run_app(app: str, variant: str = "baseline",
+            machine_config: Optional[MachineConfig] = None,
+            scale: float = 1.0, n_procs: int = 16,
+            interval_ns: int = DEFAULT_INTERVAL_NS,
+            until: Optional[int] = None,
+            **revive_overrides) -> RunResult:
+    """Run one application analog on one machine variant to completion."""
+    machine = build_machine(variant, machine_config, interval_ns,
+                            **revive_overrides)
+    workload = get_workload(app, scale=scale, n_procs=n_procs)
+    machine.attach_workload(workload)
+    machine.run(until=until)
+    return collect_result(machine, app, variant)
+
+
+def collect_result(machine: Machine, app: str, variant: str) -> RunResult:
+    """Extract a :class:`RunResult` from a finished (or paused) machine."""
+    hits = misses = 0
+    for node in machine.nodes:
+        hits += node.hierarchy.l2.hits
+        misses += node.hierarchy.l2.misses
+    lookups = hits + misses
+    refs = machine.total_mem_refs()
+    ipr = machine.workload.instructions_per_ref if machine.workload else 0.0
+    return RunResult(
+        app=app,
+        variant=variant,
+        execution_time_ns=machine.steady_execution_time,
+        total_refs=refs,
+        l2_miss_rate=(misses / lookups) if lookups else 0.0,
+        network_traffic=machine.stats.network_traffic.as_dict(),
+        memory_traffic=machine.stats.memory_traffic.as_dict(),
+        checkpoints=(machine.checkpointing.checkpoints_committed
+                     if machine.checkpointing else 0),
+        max_log_bytes=(machine.revive.max_log_bytes()
+                       if machine.revive else 0),
+        instructions=refs * ipr,
+        counters=machine.stats.snapshot(),
+    )

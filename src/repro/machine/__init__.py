@@ -1,0 +1,20 @@
+"""CC-NUMA machine model: configuration, node assembly, and system build.
+
+``Machine`` and ``Node`` are imported lazily: ``machine.system`` pulls in
+the ReVive core, which pulls in the memory layout, which needs only
+``machine.config`` — the lazy hop keeps that chain acyclic.
+"""
+
+from repro.machine.config import MachineConfig
+
+__all__ = ["MachineConfig", "Node", "Machine"]
+
+
+def __getattr__(name):
+    if name == "Machine":
+        from repro.machine.system import Machine
+        return Machine
+    if name == "Node":
+        from repro.machine.node import Node
+        return Node
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,27 @@
+"""One CC-NUMA node: caches, directory, memory, and their timelines."""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.coherence.directory import Directory
+from repro.machine.config import MachineConfig
+from repro.memory.dram import MemoryTimingModel
+from repro.memory.main_memory import NodeMemory
+from repro.sim.resources import Resource
+
+
+class Node:
+    """Everything local to one node of the machine (Figure 2)."""
+
+    def __init__(self, config: MachineConfig, node_id: int) -> None:
+        self.config = config
+        self.node_id = node_id
+        self.hierarchy = CacheHierarchy(config, node_id)
+        self.directory = Directory(node_id)
+        self.memory = NodeMemory(node_id)
+        self.mem_timing = MemoryTimingModel(config, node_id)
+        self.dir_resource = Resource(f"dir{node_id}",
+                                     config.dir_occupancy_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.node_id})"

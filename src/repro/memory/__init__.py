@@ -1,0 +1,8 @@
+"""Main-memory substrate: page layout, parity geometry, functional storage,
+and DRAM timing."""
+
+from repro.memory.layout import AddressSpace, ParityGeometry
+from repro.memory.main_memory import NodeMemory
+from repro.memory.dram import MemoryTimingModel
+
+__all__ = ["AddressSpace", "ParityGeometry", "NodeMemory", "MemoryTimingModel"]

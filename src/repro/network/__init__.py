@@ -1,0 +1,6 @@
+"""Interconnect substrate: 2-D torus topology and contention-aware timing."""
+
+from repro.network.topology import Torus2D
+from repro.network.network import Network
+
+__all__ = ["Torus2D", "Network"]

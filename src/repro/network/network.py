@@ -1,0 +1,81 @@
+"""Network timing and traffic accounting.
+
+A message from ``src`` to ``dst`` of ``nbytes``:
+
+* occupies the source node's network interface for ``nbytes / ni_bw``;
+* occupies every torus link along the dimension-order route for
+  ``nbytes / link_bw`` (virtual cut-through: all links are claimed at
+  injection time rather than staggered per hop — the difference is below
+  the fidelity of this model);
+* arrives after the Table 3 latency ``30ns + 8ns * hops``; and
+* is charged to one of the five Figure-9 traffic categories.
+
+Local (src == dst) transfers are free and generate no traffic, matching
+the paper's accounting, which measures *network* traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.machine.config import MachineConfig
+from repro.network.topology import Torus2D, DIRECTIONS
+from repro.sim.resources import Resource
+from repro.sim.stats import StatsRegistry
+
+
+class Network:
+    """Contention-aware torus network bound to a stats registry."""
+
+    def __init__(self, config: MachineConfig, stats: StatsRegistry) -> None:
+        self.config = config
+        self.stats = stats
+        self.topology = Torus2D(config.torus_width, config.torus_height)
+        self._ni: Dict[int, Resource] = {
+            n: Resource(f"ni{n}", 0) for n in range(config.n_nodes)}
+        self._links: Dict[Tuple[int, int], Resource] = {
+            (n, d): Resource(f"link{n}.{d}", 0)
+            for n in range(config.n_nodes) for d in DIRECTIONS}
+        self.messages_sent = 0
+
+    def send(self, src: int, dst: int, nbytes: int, at: int,
+             category: str) -> int:
+        """Send a message; returns its arrival time at ``dst``."""
+        if src == dst:
+            return at
+        self.stats.network_traffic.add(category, nbytes)
+        self.messages_sent += 1
+        ni_occupancy = max(1, round(nbytes / self.config.ni_bytes_per_ns))
+        start = self._ni[src].acquire(at, ni_occupancy)
+        launch = start + ni_occupancy
+        link_occupancy = max(1, round(nbytes / self.config.link_bytes_per_ns))
+        route = self.topology.route(src, dst)
+        entry = launch
+        for link in route:
+            entry = self._links[link].acquire(entry, link_occupancy)
+        return (launch + self.config.net_base_ns
+                + self.config.net_per_hop_ns * len(route))
+
+    def send_control(self, src: int, dst: int, at: int, category: str) -> int:
+        """Header-only message (requests, acks, invalidations)."""
+        return self.send(src, dst, self.config.header_bytes, at, category)
+
+    def send_line(self, src: int, dst: int, at: int, category: str) -> int:
+        """Message carrying one memory line plus header."""
+        return self.send(src, dst, self.config.line_message_bytes(), at,
+                         category)
+
+    def link_utilization(self, elapsed: int) -> float:
+        """Mean utilisation across all torus links."""
+        if elapsed <= 0 or not self._links:
+            return 0.0
+        busy = sum(link.busy_time for link in self._links.values())
+        return min(1.0, busy / (elapsed * len(self._links)))
+
+    def reset(self) -> None:
+        """Reset to the freshly-constructed state."""
+        for resource in self._ni.values():
+            resource.reset()
+        for resource in self._links.values():
+            resource.reset()
+        self.messages_sent = 0

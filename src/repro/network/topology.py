@@ -1,0 +1,85 @@
+"""2-D torus topology with X-then-Y dimension-order routing.
+
+Nodes are numbered row-major: node ``n`` sits at ``(n % width,
+n // width)``.  Links are directed and identified by ``(node,
+direction)`` with directions ``+x, -x, +y, -y``; each dimension wraps,
+and routes take the shorter way around.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+PLUS_X, MINUS_X, PLUS_Y, MINUS_Y = 0, 1, 2, 3
+DIRECTIONS = (PLUS_X, MINUS_X, PLUS_Y, MINUS_Y)
+
+
+class Torus2D:
+    """Coordinates, neighbours, and dimension-order routes on a torus."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("torus dimensions must be positive")
+        self.width = width
+        self.height = height
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes on the torus."""
+        return self.width * self.height
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """(x, y) coordinates of a node."""
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at (wrapped) coordinates."""
+        return (y % self.height) * self.width + (x % self.width)
+
+    def neighbor(self, node: int, direction: int) -> int:
+        """Adjacent node in the given direction."""
+        x, y = self.coords(node)
+        if direction == PLUS_X:
+            return self.node_at(x + 1, y)
+        if direction == MINUS_X:
+            return self.node_at(x - 1, y)
+        if direction == PLUS_Y:
+            return self.node_at(x, y + 1)
+        if direction == MINUS_Y:
+            return self.node_at(x, y - 1)
+        raise ValueError(f"unknown direction {direction}")
+
+    def _axis_steps(self, src: int, dst: int, size: int) -> Tuple[int, int]:
+        """(steps, unit_direction_sign) for one axis, shortest way around."""
+        forward = (dst - src) % size
+        backward = (src - dst) % size
+        if forward <= backward:
+            return forward, +1
+        return backward, -1
+
+    def hops(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        hx, _ = self._axis_steps(sx, dx, self.width)
+        hy, _ = self._axis_steps(sy, dy, self.height)
+        return hx + hy
+
+    def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """Dimension-order route as a list of (node, direction) links."""
+        links: List[Tuple[int, int]] = []
+        x, y = self.coords(src)
+        dx, dy = self.coords(dst)
+        steps, sign = self._axis_steps(x, dx, self.width)
+        direction = PLUS_X if sign > 0 else MINUS_X
+        for _ in range(steps):
+            node = self.node_at(x, y)
+            links.append((node, direction))
+            x += sign
+        steps, sign = self._axis_steps(y, dy, self.height)
+        direction = PLUS_Y if sign > 0 else MINUS_Y
+        for _ in range(steps):
+            node = self.node_at(x, y)
+            links.append((node, direction))
+            y += sign
+        return links

@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel for the ReVive reproduction.
+
+The kernel is deliberately small: a time-ordered event heap used to
+interleave processors (`engine`), busy-until resource timelines used to
+model contention (`resources`), and counter/histogram plumbing used by the
+evaluation harness (`stats`).
+"""
+
+from repro.sim.engine import EventQueue, Simulator
+from repro.sim.resources import Resource, MultiPortResource
+from repro.sim.stats import Counter, Histogram, StatsRegistry, TrafficBreakdown
+
+__all__ = [
+    "EventQueue",
+    "Simulator",
+    "Resource",
+    "MultiPortResource",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+    "TrafficBreakdown",
+]

@@ -1,0 +1,147 @@
+"""Event queue and simulator clock.
+
+The simulator interleaves *actors* (in practice, processors) on a binary
+heap ordered by their next activation time.  Each activation runs a batch
+of work for one actor and returns the time of that actor's next
+activation, or ``None`` when the actor has finished.
+
+Times are integer nanoseconds.  The modelled core clock is 1 GHz, so one
+nanosecond is one cycle (Table 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class EventQueue:
+    """A min-heap of ``(time, sequence, payload)`` entries.
+
+    The monotonically increasing sequence number makes ordering total and
+    deterministic even when several entries share a timestamp, which keeps
+    whole-simulation results reproducible run to run.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+
+    def push(self, time: int, payload) -> None:
+        """Insert a payload at the given time."""
+        if time < 0:
+            raise ValueError(f"cannot schedule at negative time {time}")
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def pop(self):
+        """Remove and return the earliest ``(time, payload)`` entry."""
+        time, _seq, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> Optional[int]:
+        """Return the earliest scheduled time, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def clear(self) -> None:
+        """Drop all contents."""
+        self._heap.clear()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulator:
+    """Drives actors until all are finished or a time horizon is reached.
+
+    An actor is any callable ``actor(now) -> Optional[int]``: it performs
+    its next batch of work starting at ``now`` and returns the absolute
+    time at which it wants to run again (``None`` to retire).
+
+    A *global hook* may be installed with :meth:`set_global_hook`; it is a
+    callable ``hook(now) -> Optional[int]`` consulted before each actor
+    activation.  The machine model uses it to trigger global checkpoints:
+    when the earliest pending activation passes the hook's trigger time,
+    the hook runs synchronously (it may reschedule every actor) and
+    returns the next trigger time.
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0
+        self._hook: Optional[Callable[[int], Optional[int]]] = None
+        self._hook_time: Optional[int] = None
+
+    def schedule(self, time: int, actor: Callable[[int], Optional[int]]) -> None:
+        """Enqueue an actor's first activation."""
+        self.queue.push(time, actor)
+
+    def set_global_hook(self, first_time: Optional[int],
+                        hook: Callable[[int], Optional[int]]) -> None:
+        """Install ``hook`` to fire once simulated time reaches ``first_time``."""
+        self._hook = hook
+        self._hook_time = first_time
+
+    def expedite_hook(self, time: int) -> None:
+        """Pull the global hook's next firing forward to ``time``.
+
+        Used for asynchronously-triggered checkpoints (e.g. log
+        pressure): the hook fires before the next actor event at or
+        after ``time``.  A later scheduled time is left untouched.
+        """
+        if self._hook is None or self._hook_time is None:
+            return
+        if time < self._hook_time:
+            self._hook_time = time
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the queue drains or simulated time exceeds ``until``.
+
+        Returns the final simulated time (the largest activation time
+        processed).
+        """
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if (self._hook is not None and self._hook_time is not None
+                    and next_time is not None
+                    and next_time >= self._hook_time):
+                # Fire the global hook at its trigger time — before the
+                # horizon check, so a hook due within ``until`` runs
+                # even when the next actor event lies beyond it.  The
+                # hook may mutate the queue (reschedule every actor),
+                # so loop back to re-inspect the head afterwards.
+                if until is not None and self._hook_time > until:
+                    break
+                self.now = max(self.now, self._hook_time)
+                self._hook_time = self._hook(self._hook_time)
+                continue
+            if until is not None and next_time is not None \
+                    and next_time > until:
+                break
+            time, actor = self.queue.pop()
+            self.now = max(self.now, time)
+            next_activation = actor(time)
+            if next_activation is not None:
+                self.queue.push(next_activation, actor)
+        return self.now
+
+    def drain_rebuild(self, reschedule: Callable[[Callable], Optional[int]]) -> None:
+        """Empty the queue and re-enqueue each actor at a new time.
+
+        ``reschedule(actor)`` returns the actor's new activation time or
+        ``None`` to drop it.  Used by the checkpoint coordinator, which
+        must move every processor past the commit barrier at once.
+        """
+        pending = []
+        while self.queue:
+            _t, actor = self.queue.pop()
+            pending.append(actor)
+        for actor in pending:
+            new_time = reschedule(actor)
+            if new_time is not None:
+                self.queue.push(new_time, actor)

@@ -1,0 +1,162 @@
+"""Counters, histograms, and traffic breakdowns for the evaluation.
+
+The paper's figures are built from a handful of aggregate statistics:
+execution time, network traffic by category (Fig. 9), memory traffic by
+category (Fig. 10), and log size over time (Fig. 11).  ``TrafficBreakdown``
+mirrors the figures' category split exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+#: Traffic categories used by Figures 9 and 10 of the paper.
+TRAFFIC_CATEGORIES = ("RD/RDX", "ExeWB", "CkpWB", "LOG", "PAR")
+
+
+class Counter:
+    """A named integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the counter/bucket by ``amount``/``nbytes``."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset to the freshly-constructed state."""
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram over non-negative integers."""
+
+    def __init__(self, name: str, bucket_width: int) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.name = name
+        self.bucket_width = bucket_width
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+
+    def record(self, value: int) -> None:
+        """Record one non-negative sample."""
+        if value < 0:
+            raise ValueError("Histogram records non-negative values only")
+        bucket = value // self.bucket_width
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded samples."""
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[int, int]]:
+        """Return sorted ``(bucket_start, count)`` pairs."""
+        return [(b * self.bucket_width, n)
+                for b, n in sorted(self._buckets.items())]
+
+
+class TrafficBreakdown:
+    """Byte counts split by the paper's five traffic categories.
+
+    One instance tracks network bytes (Fig. 9), another memory bytes
+    (Fig. 10).  Baseline-system traffic is RD/RDX + ExeWB; ReVive adds
+    CkpWB, LOG and PAR.
+    """
+
+    __slots__ = ("name", "bytes_by_category")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.bytes_by_category: Dict[str, int] = {c: 0 for c in TRAFFIC_CATEGORIES}
+
+    def add(self, category: str, nbytes: int) -> None:
+        """Increase the counter/bucket by ``amount``/``nbytes``."""
+        self.bytes_by_category[category] += nbytes
+
+    @property
+    def total(self) -> int:
+        """Sum over all categories."""
+        return sum(self.bytes_by_category.values())
+
+    @property
+    def baseline_total(self) -> int:
+        """Traffic that exists with or without ReVive."""
+        return (self.bytes_by_category["RD/RDX"]
+                + self.bytes_by_category["ExeWB"])
+
+    @property
+    def revive_total(self) -> int:
+        """Traffic caused by ReVive (checkpoint flushes, log, parity)."""
+        return self.total - self.baseline_total
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict copy of the per-category byte counts."""
+        return dict(self.bytes_by_category)
+
+    def merged_with(self, other: "TrafficBreakdown") -> "TrafficBreakdown":
+        """New breakdown holding the element-wise sum."""
+        merged = TrafficBreakdown(self.name)
+        for category in TRAFFIC_CATEGORIES:
+            merged.bytes_by_category[category] = (
+                self.bytes_by_category[category]
+                + other.bytes_by_category[category])
+        return merged
+
+    def reset(self) -> None:
+        """Reset to the freshly-constructed state."""
+        for category in TRAFFIC_CATEGORIES:
+            self.bytes_by_category[category] = 0
+
+
+class StatsRegistry:
+    """Owns every statistic collected during one simulation run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self.network_traffic = TrafficBreakdown("network")
+        self.memory_traffic = TrafficBreakdown("memory")
+        self.log_size_samples: List[Tuple[int, int]] = []  # (time, bytes)
+        self.max_log_bytes = 0
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def counters(self) -> Iterable[Counter]:
+        """Iterate over all counters."""
+        return self._counters.values()
+
+    def value(self, name: str) -> int:
+        """Current value of a counter (0 when absent)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def sample_log_size(self, time: int, nbytes: int) -> None:
+        """Record a (time, total log bytes) sample."""
+        self.log_size_samples.append((time, nbytes))
+        if nbytes > self.max_log_bytes:
+            self.max_log_bytes = nbytes
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat dict of all counters — convenient for reporting and tests."""
+        return {name: c.value for name, c in sorted(self._counters.items())}

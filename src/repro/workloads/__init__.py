@@ -1,0 +1,20 @@
+"""Workloads: access-pattern building blocks, the parameterized synthetic
+generator, and the twelve Splash-2 application analogs of Table 4."""
+
+from repro.workloads.base import Workload, WorkloadChunk
+from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
+from repro.workloads.registry import (
+    APP_NAMES,
+    get_workload,
+    paper_reference,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadChunk",
+    "SyntheticSpec",
+    "SyntheticWorkload",
+    "APP_NAMES",
+    "get_workload",
+    "paper_reference",
+]

@@ -1,0 +1,61 @@
+"""Workload interface.
+
+A workload describes what ``n_procs`` processors do: each processor
+consumes a *stream* of chunks, where a chunk is either
+
+* ``("ops", gaps, vaddrs, writes)`` — three equal-length arrays: the
+  inter-reference gap in nanoseconds (already divided by the core's
+  sustained IPC), the virtual byte address of each reference, and a
+  write flag; or
+* ``("barrier",)`` — a global synchronization point.  Streams must
+  agree on barrier placement: the k-th barrier of every processor is
+  the same barrier.
+
+Virtual addresses live in a single shared space; the machine binds
+pages to physical memory on first touch.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Tuple, Union
+
+import numpy as np
+
+WorkloadChunk = Union[
+    Tuple[str],                                        # ("barrier",)
+    Tuple[str, np.ndarray, np.ndarray, np.ndarray],    # ("ops", ...)
+]
+
+#: Address-space carve-up shared by all built-in workloads: each
+#: processor's private segment, then one global shared segment.
+PRIVATE_SEGMENT_BITS = 30
+SHARED_BASE = 1 << 40
+
+
+def private_base(proc_id: int) -> int:
+    """Base virtual address of a processor's private segment."""
+    return (proc_id + 1) << PRIVATE_SEGMENT_BITS
+
+
+class Workload(abc.ABC):
+    """Base class for machine workloads."""
+
+    #: Human-readable workload name (Table 4 row, for the analogs).
+    name: str = "workload"
+    #: Number of processor threads.
+    n_procs: int = 16
+    #: Modelled instructions per memory reference (Table 4 instruction
+    #: counts are derived as refs * instructions_per_ref).
+    instructions_per_ref: float = 2.0
+
+    @abc.abstractmethod
+    def stream_for(self, proc_id: int) -> Iterator[WorkloadChunk]:
+        """The chunk stream executed by processor ``proc_id``."""
+
+    def total_refs_hint(self) -> int:
+        """Approximate total references across all processors (optional)."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, n_procs={self.n_procs})"

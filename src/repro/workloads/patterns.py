@@ -1,0 +1,108 @@
+"""Access-pattern building blocks (numpy address-sequence generators).
+
+Each builder returns an ``int64`` array of *byte* addresses, always
+line-aligned.  The synthetic workload generator composes these into
+per-phase reference streams; the patterns are the vocabulary Splash-2
+behaviours are described in: strided sweeps (dense linear algebra,
+grids), random working-set re-use (tree codes, ray tracing), hot-line
+accesses (locks, reduction variables), and region sweeps used for
+all-to-all communication phases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+LINE = 64
+
+
+def strided_sweep(base: int, n_lines: int, count: int,
+                  start_line: int = 0, stride_lines: int = 1) -> np.ndarray:
+    """``count`` addresses walking a region linearly, wrapping around."""
+    if n_lines <= 0:
+        raise ValueError("n_lines must be positive")
+    idx = (start_line + stride_lines * np.arange(count, dtype=np.int64)) \
+        % n_lines
+    return base + idx * LINE
+
+
+def random_lines(rng: np.random.Generator, base: int, n_lines: int,
+                 count: int) -> np.ndarray:
+    """Uniformly random lines within a region (capacity-miss driver)."""
+    if n_lines <= 0:
+        raise ValueError("n_lines must be positive")
+    return base + rng.integers(0, n_lines, count, dtype=np.int64) * LINE
+
+
+def zipf_lines(rng: np.random.Generator, base: int, n_lines: int,
+               count: int, alpha: float = 1.2) -> np.ndarray:
+    """Skewed re-use: low-numbered lines are touched far more often.
+
+    Approximates pointer-chasing working sets (Barnes, FMM octrees)
+    where a hot upper tree coexists with a cold fringe.
+    """
+    if n_lines <= 0:
+        raise ValueError("n_lines must be positive")
+    # Inverse-CDF sampling of a bounded zipf-like distribution.
+    u = rng.random(count)
+    idx = np.floor(n_lines ** (1.0 - u ** alpha)).astype(np.int64) % n_lines
+    return base + idx * LINE
+
+
+def hot_lines(rng: np.random.Generator, base: int, n_hot: int,
+              count: int) -> np.ndarray:
+    """Accesses to a handful of hot lines (locks, global counters)."""
+    return random_lines(rng, base, max(1, n_hot), count)
+
+
+def interleave(rng: np.random.Generator, parts: list,
+               weights: list) -> np.ndarray:
+    """Randomly interleave several address arrays with given weights.
+
+    The result's length equals the sum of the parts' lengths; each
+    part's internal order is preserved (streams stay streams).
+    """
+    if len(parts) != len(weights):
+        raise ValueError("parts and weights must align")
+    parts = [np.asarray(p, dtype=np.int64) for p in parts if len(p)]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    total = sum(len(p) for p in parts)
+    # Build a tag sequence: which part supplies the next address.
+    tags = np.concatenate([np.full(len(p), i, dtype=np.int64)
+                           for i, p in enumerate(parts)])
+    rng.shuffle(tags)
+    out = np.empty(total, dtype=np.int64)
+    cursors = [0] * len(parts)
+    for pos, tag in enumerate(tags.tolist()):
+        part = parts[tag]
+        out[pos] = part[cursors[tag]]
+        cursors[tag] += 1
+    return out
+
+
+def write_mask(rng: np.random.Generator, count: int,
+               write_fraction: float) -> np.ndarray:
+    """Boolean write flags with the requested write fraction."""
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be in [0, 1]")
+    return rng.random(count) < write_fraction
+
+
+def constant_gaps(count: int, gap_ns: int) -> np.ndarray:
+    """Fixed inter-reference gap (dense compute)."""
+    return np.full(count, gap_ns, dtype=np.int64)
+
+
+def bursty_gaps(rng: np.random.Generator, count: int, gap_ns: int,
+                burst_every: int = 64, burst_ns: int = 200) -> np.ndarray:
+    """Mostly-dense references with periodic long compute bursts.
+
+    Models applications that alternate memory phases with computation
+    (e.g. the force evaluations in the Water codes).
+    """
+    gaps = np.full(count, gap_ns, dtype=np.int64)
+    if burst_every > 0:
+        bursts = rng.integers(0, burst_every, count) == 0
+        gaps[bursts] += burst_ns
+    return gaps

@@ -1,0 +1,37 @@
+"""Lookup of the built-in workloads by name."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.workloads.splash2 import PAPER_TABLE4, SPLASH2_SPECS
+from repro.workloads.synthetic import SyntheticWorkload
+
+APP_NAMES: List[str] = sorted(SPLASH2_SPECS)
+
+
+def get_workload(name: str, scale: float = 1.0,
+                 n_procs: int = 16) -> SyntheticWorkload:
+    """Instantiate a Splash-2 analog.
+
+    ``scale`` multiplies the run length (reference counts); ``n_procs``
+    changes the thread count (the paper always uses 16).
+    """
+    spec = SPLASH2_SPECS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(APP_NAMES)}")
+    if n_procs != spec.n_procs:
+        spec = replace(spec, n_procs=n_procs)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    return SyntheticWorkload(spec)
+
+
+def paper_reference(name: str) -> Dict[str, float]:
+    """Table 4 reference values for one application."""
+    ref = PAPER_TABLE4.get(name)
+    if ref is None:
+        raise KeyError(f"no Table 4 reference for {name!r}")
+    return dict(ref)

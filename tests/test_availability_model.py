@@ -1,0 +1,96 @@
+"""Unit tests for the availability arithmetic (Section 3.3.2)."""
+
+import pytest
+
+from repro.core.availability import (
+    NS_PER_DAY,
+    NS_PER_MS,
+    REAL_INTERVAL_NS,
+    availability,
+    average_lost_work_ns,
+    nines,
+    scale_to_real_interval,
+    unavailable_time_ms,
+    worst_case_lost_work_ns,
+)
+
+
+class TestAvailability:
+    def test_paper_headline(self):
+        """820 ms downtime, one error per day: better than five nines."""
+        a = availability(NS_PER_DAY, 820 * NS_PER_MS)
+        assert a > 0.99999
+
+    def test_memory_intact_case(self):
+        a = availability(NS_PER_DAY, 250 * NS_PER_MS)
+        assert a > 0.999997
+
+    def test_monthly_errors_are_even_better(self):
+        daily = availability(NS_PER_DAY, 820 * NS_PER_MS)
+        monthly = availability(30 * NS_PER_DAY, 820 * NS_PER_MS)
+        assert monthly > daily
+
+    def test_degenerate_cases(self):
+        assert availability(100, 100) == 0.0
+        assert availability(100, 0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            availability(0, 1)
+        with pytest.raises(ValueError):
+            availability(10, -1)
+
+
+class TestNines:
+    def test_values(self):
+        assert nines(0.99999) == pytest.approx(5.0)
+        assert nines(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nines(1.0)
+        with pytest.raises(ValueError):
+            nines(-0.1)
+
+
+class TestLostWork:
+    def test_worst_case(self):
+        """Error just before a commit + detection latency (Section 3.3.2:
+        100 ms + 80 ms = 180 ms of lost work)."""
+        assert worst_case_lost_work_ns(100 * NS_PER_MS, 80 * NS_PER_MS) \
+            == 180 * NS_PER_MS
+
+    def test_average_case(self):
+        """Half an interval + detection latency = 130 ms."""
+        assert average_lost_work_ns(100 * NS_PER_MS, 80 * NS_PER_MS) \
+            == 130 * NS_PER_MS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_lost_work_ns(-1, 0)
+        with pytest.raises(ValueError):
+            average_lost_work_ns(0, -1)
+
+
+class TestScaling:
+    def test_paper_scaling_step(self):
+        """The paper multiplies 10 ms-interval measurements by 10."""
+        assert scale_to_real_interval(59 * NS_PER_MS, 10 * NS_PER_MS) \
+            == 590 * NS_PER_MS
+
+    def test_default_real_interval(self):
+        assert REAL_INTERVAL_NS == 100 * NS_PER_MS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_to_real_interval(1, 0)
+
+
+class TestUnavailableTime:
+    def test_figure7_sum(self):
+        """Figure 7's worst case: 180 + 50 + 100 + 490 = 820 ms."""
+        assert unavailable_time_ms(180, 50, 100, 490) == 820
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            unavailable_time_ms(-1, 0, 0, 0)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = make_parser().parse_args(["run", "lu"])
+        assert args.variant == "cp_parity"
+        assert args.scale == 1.0
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["run", "doom"])
+
+    def test_recover_lost_node(self):
+        args = make_parser().parse_args(["recover", "lu",
+                                         "--lost-node", "3"])
+        assert args.lost_node == 3
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "radix" in out and "water-sp" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "4x4 torus" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "lu", "--scale", "0.1",
+                     "--variant", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "L2 miss rate" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "lu", "--scale", "0.05",
+                     "--interval-us", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Cp10ms" in out and "Overhead" in out
+
+    def test_recover_small(self, capsys):
+        rc = main(["recover", "lu", "--scale", "0.6",
+                   "--interval-us", "100"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bit-exact" in out
+
+    def test_recover_node_loss_small(self, capsys):
+        rc = main(["recover", "lu", "--scale", "0.6",
+                   "--interval-us", "100", "--lost-node", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "log rebuild" in out
+
+    def test_recover_too_short(self, capsys):
+        rc = main(["recover", "lu", "--scale", "0.02",
+                   "--interval-us", "100000"])
+        assert rc == 2

@@ -1,0 +1,100 @@
+"""Unit tests for the detection-latency design-space module, plus an
+end-to-end deep-retention recovery (rolling back two full epochs)."""
+
+import pytest
+
+from conftest import ToyWorkload, build_tiny_machine
+
+from repro.core.detection import (
+    DesignPoint,
+    design_space,
+    required_checkpoints,
+    retained_log_bytes,
+    worst_case_rollback_epochs,
+)
+from repro.core.faults import TransientSystemFault
+from repro.core.recovery import RecoveryManager
+
+NS_PER_MS = 1_000_000
+
+
+class TestRetentionArithmetic:
+    def test_paper_design_point(self):
+        """80 ms latency at a 100 ms interval: keep two checkpoints."""
+        assert required_checkpoints(80 * NS_PER_MS, 100 * NS_PER_MS) == 2
+
+    def test_latency_exceeding_interval(self):
+        assert required_checkpoints(150 * NS_PER_MS, 100 * NS_PER_MS) == 3
+        assert required_checkpoints(350 * NS_PER_MS, 100 * NS_PER_MS) == 5
+
+    def test_zero_latency_still_needs_one(self):
+        assert required_checkpoints(0, 100) == 1
+
+    def test_rollback_epochs(self):
+        assert worst_case_rollback_epochs(80 * NS_PER_MS,
+                                          100 * NS_PER_MS) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_checkpoints(10, 0)
+        with pytest.raises(ValueError):
+            required_checkpoints(-1, 10)
+        with pytest.raises(ValueError):
+            retained_log_bytes(-1, 0, 10)
+
+    def test_log_retention_scales(self):
+        """The paper's 25 MB-per-checkpoint estimate: two retained
+        checkpoints cost 50 MB."""
+        assert retained_log_bytes(25 << 20, 80 * NS_PER_MS,
+                                  100 * NS_PER_MS) == 50 << 20
+
+
+class TestDesignSpace:
+    def test_sweep_shape(self):
+        points = design_space([100 * NS_PER_MS, 1000 * NS_PER_MS],
+                              [10 * NS_PER_MS, 80 * NS_PER_MS],
+                              recovery_overhead_ns=200 * NS_PER_MS,
+                              per_epoch_log_bytes=25 << 20)
+        assert len(points) == 4
+        assert all(isinstance(p, DesignPoint) for p in points)
+
+    def test_longer_latency_costs_availability_and_memory(self):
+        short, long_ = design_space([100 * NS_PER_MS],
+                                    [10 * NS_PER_MS, 500 * NS_PER_MS],
+                                    recovery_overhead_ns=200 * NS_PER_MS,
+                                    per_epoch_log_bytes=1 << 20)
+        assert long_.availability_at_1_per_day \
+            < short.availability_at_1_per_day
+        assert long_.log_bytes > short.log_bytes
+        assert long_.keep_checkpoints > short.keep_checkpoints
+
+    def test_paper_headline_reachable(self):
+        (point,) = design_space([100 * NS_PER_MS], [80 * NS_PER_MS],
+                                recovery_overhead_ns=640 * NS_PER_MS,
+                                per_epoch_log_bytes=25 << 20)
+        # 180 ms lost work + 640 ms recovery = 820 ms -> five nines.
+        assert point.unavailable_ns == 820 * NS_PER_MS
+        assert point.availability_at_1_per_day > 0.99999
+
+
+class TestDeepRetentionRecovery:
+    def test_rollback_two_epochs_with_keep_three(self):
+        """A detection latency above one interval forces keeping three
+        checkpoints; recovery to epoch N-2 must be bit-exact."""
+        machine = build_tiny_machine(keep_checkpoints=3,
+                                     detection_latency_fraction=1.5,
+                                     log_bytes_per_node=96 * 1024)
+        machine.attach_workload(ToyWorkload(rounds=8, refs_per_round=1500))
+        coord = machine.checkpointing
+        horizon = 4 * coord.interval_ns
+        while coord.checkpoints_committed < 3 and not machine.all_finished:
+            machine.run(until=horizon)
+            horizon += coord.interval_ns
+        assert coord.checkpoints_committed >= 3
+        detect = machine.simulator.now
+        target = coord.checkpoints_committed - 2
+        TransientSystemFault().apply(machine)
+        result = RecoveryManager(machine).recover(detect_time=detect,
+                                                  target_epoch=target)
+        assert machine.verify_against_snapshot(target) == []
+        assert result.entries_undone > 0

@@ -1,0 +1,61 @@
+"""Tests for the machine-wide diagnostics API."""
+
+from conftest import ToyWorkload, build_tiny_machine, run_toy
+
+from repro.cache.cache import MODIFIED, SHARED
+
+
+class TestCheckInvariants:
+    def test_clean_machine(self):
+        machine = run_toy(build_tiny_machine())
+        assert machine.check_invariants() == []
+
+    def test_baseline_machine(self):
+        machine = run_toy(build_tiny_machine(revive=False))
+        assert machine.check_invariants() == []
+
+    def test_detects_double_writer(self):
+        machine = build_tiny_machine(revive=False)
+        addr = machine.addr_space.translate_line(1 << 32, 0)
+        machine.protocol.read(0, addr, 0)
+        machine.nodes[0].hierarchy.l2.peek(addr).state = MODIFIED
+        machine.nodes[1].hierarchy.fill(addr, MODIFIED, value=1)
+        violations = machine.check_invariants()
+        assert any("multiple dirty" in v or "exclusive" in v
+                   for v in violations)
+
+    def test_detects_parity_corruption(self):
+        machine = run_toy(build_tiny_machine())
+        addr = machine.addr_space.translate_line(1 << 32, 0)
+        home = machine.nodes[machine.addr_space.node_of(addr)]
+        home.memory.write_line(addr, 0xbad)     # bypass parity path
+        assert any("parity" in v for v in machine.check_invariants())
+
+    def test_detects_cache_outside_sharers(self):
+        machine = build_tiny_machine(revive=False)
+        addr = machine.addr_space.translate_line(1 << 32, 0)
+        machine.protocol.read(0, addr, 0)
+        machine.protocol.read(1, addr, 100)       # directory-shared {0,1}
+        machine.nodes[2].hierarchy.fill(addr, SHARED, value=0)
+        assert any("sharer set" in v for v in machine.check_invariants())
+
+
+class TestUtilizationReport:
+    def test_report_shape_and_bounds(self):
+        machine = run_toy(build_tiny_machine(),
+                          ToyWorkload(rounds=2, refs_per_round=800))
+        report = machine.utilization_report()
+        assert set(report) == {"memory_bus_mean", "memory_bus_max",
+                               "directory_mean", "network_links_mean"}
+        for value in report.values():
+            assert 0.0 <= value <= 1.0
+        assert report["memory_bus_max"] >= report["memory_bus_mean"]
+        assert report["memory_bus_mean"] > 0.0
+
+    def test_revive_raises_memory_utilization(self):
+        base = run_toy(build_tiny_machine(revive=False),
+                       ToyWorkload(rounds=2, refs_per_round=800))
+        revive = run_toy(build_tiny_machine(),
+                         ToyWorkload(rounds=2, refs_per_round=800))
+        assert revive.utilization_report()["memory_bus_mean"] \
+            > base.utilization_report()["memory_bus_mean"]

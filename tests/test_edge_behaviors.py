@@ -1,0 +1,88 @@
+"""Edge-behaviour tests: empty machines, degenerate workloads, limits."""
+
+import numpy as np
+import pytest
+
+from conftest import build_tiny_machine
+
+from repro.machine.config import MachineConfig
+from repro.machine.system import Machine
+
+
+class ChunkListWorkload:
+    instructions_per_ref = 1.0
+
+    def __init__(self, streams):
+        self.streams = streams
+        self.n_procs = len(streams)
+        self.name = "chunks"
+
+    def stream_for(self, proc_id):
+        return iter(self.streams[proc_id])
+
+
+class TestDegenerateRuns:
+    def test_run_without_workload_is_a_noop(self):
+        machine = build_tiny_machine()
+        assert machine.run() == 0
+        assert machine.execution_time == 0
+        assert machine.all_finished      # vacuously: no processors
+
+    def test_empty_stream_processor_retires_immediately(self):
+        machine = build_tiny_machine(revive=False)
+        machine.attach_workload(ChunkListWorkload([[]]))
+        machine.run()
+        assert machine.processors[0].finished
+        assert machine.processors[0].mem_refs == 0
+
+    def test_barrier_first_chunk(self):
+        machine = build_tiny_machine(revive=False)
+        ops = ("ops", np.ones(4, dtype=np.int64),
+               np.arange(4, dtype=np.int64) * 64 + (1 << 30),
+               np.zeros(4, dtype=bool))
+        machine.attach_workload(ChunkListWorkload(
+            [[("barrier",), ops], [("barrier",)]]))
+        machine.run()
+        assert machine.all_finished
+
+    def test_single_node_machine(self):
+        config = MachineConfig.tiny(1)
+        machine = Machine(config, None)
+        ops = ("ops", np.ones(32, dtype=np.int64),
+               np.arange(32, dtype=np.int64) * 64 + (1 << 30),
+               np.ones(32, dtype=bool))
+        machine.attach_workload(ChunkListWorkload([[ops]]))
+        machine.run()
+        assert machine.all_finished
+        assert machine.total_mem_refs() == 32
+
+    def test_checkpoint_with_no_dirty_lines(self):
+        """A checkpoint firing before any write still commits cleanly."""
+        machine = build_tiny_machine(checkpoint_interval_ns=1_000)
+        ops = ("ops", np.full(64, 200, dtype=np.int64),
+               np.arange(64, dtype=np.int64) * 64 + (1 << 30),
+               np.zeros(64, dtype=bool))
+        machine.attach_workload(ChunkListWorkload(
+            [[ops] for _ in range(4)]))
+        machine.run(until=4_000)
+        assert machine.checkpointing.checkpoints_committed >= 1
+        assert machine.revive.parity.check_all_parity() == []
+
+
+class TestLimits:
+    def test_checkpoint_interval_validation(self):
+        from repro.core.checkpoint import CheckpointCoordinator
+
+        machine = build_tiny_machine()
+        with pytest.raises(ValueError):
+            CheckpointCoordinator(machine, interval_ns=0)
+
+    def test_huge_store_values_roundtrip_through_parity(self):
+        machine = build_tiny_machine()
+        line = machine.addr_space.translate_line(1 << 33, 0)
+        big = (1 << 512) - 1
+        machine.revive.on_memory_write(0, line, big, at=0,
+                                       category="ExeWB")
+        assert machine.nodes[0].memory.read_line(line) == big
+        assert machine.revive.parity.check_all_parity() == []
+        assert machine.revive.parity.reconstruct_line(line) == big

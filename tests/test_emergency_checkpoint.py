@@ -1,0 +1,60 @@
+"""Tests for log-pressure-triggered (emergency) checkpoints."""
+
+import pytest
+
+from conftest import ToyWorkload, build_tiny_machine
+
+from repro.core.log import LogOverflowError
+
+
+def pressured_machine(emergency, interval_ns=10_000_000):
+    """Small log + an interval far too long to reclaim in time."""
+    return build_tiny_machine(
+        log_bytes_per_node=32 * 1024,
+        checkpoint_interval_ns=interval_ns,
+        emergency_checkpoint_fraction=emergency)
+
+
+WORKLOAD = dict(rounds=8, refs_per_round=1500, private_lines=440,
+                shared_lines=128)
+
+
+class TestEmergencyCheckpoint:
+    def test_without_it_the_log_overflows(self):
+        machine = pressured_machine(emergency=None)
+        machine.attach_workload(ToyWorkload(**WORKLOAD))
+        with pytest.raises(LogOverflowError):
+            machine.run()
+
+    def test_with_it_the_run_completes(self):
+        machine = pressured_machine(emergency=0.7)
+        machine.attach_workload(ToyWorkload(**WORKLOAD))
+        machine.run()
+        assert machine.all_finished
+        assert machine.stats.value("ckpt.emergency_requests") > 0
+        assert machine.checkpointing.checkpoints_committed > 0
+        # Functional invariants survive the asynchronous commits.
+        assert machine.revive.parity.check_all_parity() == []
+
+    def test_log_stays_under_capacity(self):
+        machine = pressured_machine(emergency=0.7)
+        machine.attach_workload(ToyWorkload(**WORKLOAD))
+        machine.run()
+        for log in machine.revive.logs.values():
+            assert log.slots_used <= log.capacity_slots
+
+    def test_periodic_checkpoints_unaffected_when_log_is_roomy(self):
+        machine = build_tiny_machine(emergency_checkpoint_fraction=0.85,
+                                     checkpoint_interval_ns=50_000,
+                                     log_bytes_per_node=64 * 1024)
+        machine.attach_workload(ToyWorkload(rounds=4))
+        machine.run()
+        assert machine.stats.value("ckpt.emergency_requests") == 0
+
+    def test_config_validation(self):
+        from repro.core.config import ReViveConfig
+
+        with pytest.raises(ValueError):
+            ReViveConfig(emergency_checkpoint_fraction=0.0)
+        with pytest.raises(ValueError):
+            ReViveConfig(emergency_checkpoint_fraction=1.5)

@@ -1,0 +1,147 @@
+"""Unit tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.cache.cache import EXCLUSIVE, MODIFIED, SHARED
+from repro.cache.hierarchy import (
+    CacheHierarchy,
+    HIT,
+    NEED_GETS,
+    NEED_GETX,
+    NEED_UPGRADE,
+)
+from repro.machine.config import MachineConfig
+
+
+def make():
+    return CacheHierarchy(MachineConfig.tiny(4), node=0)
+
+
+class TestProbe:
+    def test_cold_read_needs_gets(self):
+        h = make()
+        assert h.probe(0x40, is_write=False).need == NEED_GETS
+
+    def test_cold_write_needs_getx(self):
+        h = make()
+        assert h.probe(0x40, is_write=True).need == NEED_GETX
+
+    def test_read_hit_after_fill(self):
+        h = make()
+        h.fill(0x40, SHARED, value=0)
+        result = h.probe(0x40, is_write=False)
+        assert result.need == HIT
+
+    def test_write_on_shared_needs_upgrade(self):
+        h = make()
+        h.fill(0x40, SHARED, value=0)
+        assert h.probe(0x40, is_write=True).need == NEED_UPGRADE
+
+    def test_write_on_exclusive_silently_modifies(self):
+        h = make()
+        h.fill(0x40, EXCLUSIVE, value=0)
+        result = h.probe(0x40, is_write=True)
+        assert result.need == HIT
+        assert result.silent_upgrade
+        assert h.l2.peek(0x40).state == MODIFIED
+        assert h.silent_upgrades == 1
+
+    def test_l1_hit_flag(self):
+        h = make()
+        h.fill(0x40, SHARED, value=0)
+        first = h.probe(0x40, is_write=False)
+        assert first.l1_hit          # fill touched the L1 filter
+        # Evict from the tiny L1 with conflicting touches.
+        for i in range(1, 64):
+            h.l1.touch(0x40 + i * 1024 * 64)
+        later = h.probe(0x40, is_write=False)
+        assert later.need == HIT     # still in L2
+
+
+class TestWriteValue:
+    def test_records_value_on_modified_line(self):
+        h = make()
+        h.fill(0x40, MODIFIED, value=1)
+        h.write_value(0x40, 42)
+        assert h.l2.peek(0x40).value == 42
+
+    def test_rejects_clean_lines(self):
+        h = make()
+        h.fill(0x40, SHARED, value=0)
+        with pytest.raises(RuntimeError):
+            h.write_value(0x40, 42)
+
+
+class TestFillAndEvict:
+    def test_dirty_victim_produces_writeback(self):
+        h = make()
+        # Fill one set beyond associativity with MODIFIED lines.
+        stride = h.l2.n_sets * 64
+        victims = []
+        for i in range(h.l2.assoc + 1):
+            victims += h.fill(0x40 + i * stride, MODIFIED, value=i)
+        # But hashing may spread them; force the issue via many fills.
+        for i in range(200):
+            victims += h.fill(0x10000 + i * 64, MODIFIED, value=i)
+        dirty = [(a, v) for a, v in victims if v is not None]
+        assert dirty, "expected at least one dirty write-back"
+
+    def test_clean_exclusive_victim_produces_hint(self):
+        h = make()
+        victims = []
+        for i in range(200):
+            victims += h.fill(0x10000 + i * 64, EXCLUSIVE, value=0)
+        hints = [(a, v) for a, v in victims if v is None]
+        assert hints, "expected replacement hints for clean-E victims"
+
+    def test_shared_victims_evict_silently(self):
+        h = make()
+        victims = []
+        for i in range(200):
+            victims += h.fill(0x10000 + i * 64, SHARED, value=0)
+        assert victims == []
+
+
+class TestDirectorySide:
+    def test_invalidate_returns_dirty_value(self):
+        h = make()
+        h.fill(0x40, MODIFIED, value=99)
+        assert h.invalidate(0x40) == 99
+        assert h.l2.peek(0x40) is None
+
+    def test_invalidate_clean_returns_none(self):
+        h = make()
+        h.fill(0x40, SHARED, value=0)
+        assert h.invalidate(0x40) is None
+
+    def test_downgrade_returns_dirty_value_and_shares(self):
+        h = make()
+        h.fill(0x40, MODIFIED, value=7)
+        assert h.downgrade(0x40) == 7
+        assert h.l2.peek(0x40).state == SHARED
+
+    def test_downgrade_absent_line(self):
+        assert make().downgrade(0x40) is None
+
+
+class TestFlushSupport:
+    def test_mark_clean_downgrades_to_shared(self):
+        h = make()
+        h.fill(0x40, MODIFIED, value=1)
+        h.mark_clean(0x40)
+        assert h.l2.peek(0x40).state == SHARED
+        # Next write is an upgrade -> the home sees the store intent
+        # (Figure 5(a)) instead of a surprise write-back (Figure 5(b)).
+        assert h.probe(0x40, is_write=True).need == NEED_UPGRADE
+
+    def test_dirty_lines_snapshot(self):
+        h = make()
+        h.fill(0x40, MODIFIED, value=1)
+        h.fill(0x80, SHARED, value=0)
+        assert [l.addr for l in h.dirty_lines()] == [0x40]
+
+    def test_clear_wipes_both_levels(self):
+        h = make()
+        h.fill(0x40, MODIFIED, value=1)
+        h.clear()
+        assert h.probe(0x40, is_write=False).need == NEED_GETS

@@ -1,0 +1,128 @@
+"""Tests for the hybrid mirroring+parity extension (Section 6.1).
+
+The paper's first listed extension: protect the most frequently used
+pages with mirroring (cheap maintenance) and everything else with N+1
+parity (cheap storage).
+"""
+
+import pytest
+
+from conftest import ToyWorkload, build_tiny_machine, run_toy
+
+from repro.core.faults import NodeLossFault
+from repro.core.recovery import RecoveryManager
+from repro.machine.config import MachineConfig
+from repro.memory.layout import HybridGeometry, ParityGeometry
+
+
+def make_hybrid(n_nodes=4, group=3, mirrored=8):
+    return HybridGeometry(MachineConfig.tiny(n_nodes), group,
+                          mirrored_stripes=mirrored)
+
+
+class TestHybridGeometry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridGeometry(MachineConfig.tiny(4), 0, 4)
+        with pytest.raises(ValueError):
+            HybridGeometry(MachineConfig.tiny(4), 3, -1)
+        with pytest.raises(ValueError):
+            # cluster of 3: cannot pair nodes for mirroring
+            HybridGeometry(MachineConfig.tiny(8), 2, 4)
+
+    def test_low_stripes_are_mirrored(self):
+        g = make_hybrid(mirrored=8)
+        assert g.is_mirrored_page(0, 0)
+        assert g.is_mirrored_page(3, 7)
+        assert not g.is_mirrored_page(0, 8)
+
+    def test_mirror_holder_alternates(self):
+        g = make_hybrid()
+        # Pair (0, 1): even stripes mirrored on node 0, odd on node 1.
+        assert g.is_parity_page(0, 0) and not g.is_parity_page(1, 0)
+        assert g.is_parity_page(1, 1) and not g.is_parity_page(0, 1)
+
+    def test_mirrored_parity_location_is_pair_partner(self):
+        g = make_hybrid()
+        assert g.parity_location(1, 0) == (0, 0)
+        assert g.parity_location(0, 1) == (1, 1)
+        assert g.parity_location(3, 0) == (2, 0)
+        with pytest.raises(ValueError):
+            g.parity_location(0, 0)        # node 0 holds the mirror
+
+    def test_mirrored_stripe_is_a_pair(self):
+        g = make_hybrid()
+        assert g.stripe_of(1, 0) == [(0, 0), (1, 0)]
+        assert g.stripe_data_pages(0, 0) == [(1, 0)]
+        with pytest.raises(ValueError):
+            g.stripe_data_pages(1, 0)      # node 1 holds data, not mirror
+
+    def test_high_stripes_fall_back_to_raid5(self):
+        g = make_hybrid(mirrored=8)
+        base = ParityGeometry(MachineConfig.tiny(4), 3)
+        for node in range(4):
+            for page in range(8, 24):
+                assert g.is_parity_page(node, page) == \
+                    base.is_parity_page(node, page)
+
+    def test_parity_fraction_between_extremes(self):
+        cfg = MachineConfig.tiny(4)
+        half = HybridGeometry(cfg, 3, cfg.pages_per_node // 2)
+        frac = half.parity_fraction()
+        assert 0.25 < frac < 0.5
+        none = HybridGeometry(cfg, 3, 0)
+        assert none.parity_fraction() == pytest.approx(0.25)
+        full = HybridGeometry(cfg, 3, cfg.pages_per_node)
+        assert full.parity_fraction() == pytest.approx(0.5)
+
+
+class TestHybridMachine:
+    def make_machine(self):
+        return build_tiny_machine(mirrored_fraction=0.25)
+
+    def test_geometry_selected(self):
+        machine = self.make_machine()
+        assert isinstance(machine.geometry, HybridGeometry)
+        assert machine.geometry.mirrored_stripes > 0
+
+    def test_parity_invariant_holds(self):
+        machine = run_toy(self.make_machine())
+        assert machine.revive.parity.check_all_parity() == []
+
+    def test_early_allocations_are_mirrored(self):
+        machine = run_toy(self.make_machine())
+        parity = machine.revive.parity
+        space = machine.addr_space
+        mapped = space.mapped_physical_pages()
+        mirrored = [1 for n, p in mapped
+                    if machine.geometry.is_mirrored_page(n, p)]
+        assert mirrored, "no hot pages landed in the mirrored region"
+
+    @pytest.mark.parametrize("lost", [0, 2])
+    def test_node_loss_recovery_under_hybrid(self, lost):
+        machine = self.make_machine()
+        machine.attach_workload(ToyWorkload(rounds=6))
+        coord = machine.checkpointing
+        horizon = 3 * coord.interval_ns
+        while coord.checkpoints_committed < 2 and not machine.all_finished:
+            machine.run(until=horizon)
+            horizon += coord.interval_ns
+        detect = coord.commit_times[2] + int(0.8 * coord.interval_ns)
+        machine.run(until=detect)
+        NodeLossFault(lost).apply(machine)
+        result = RecoveryManager(machine).recover(detect_time=detect,
+                                                  lost_node=lost)
+        assert machine.verify_against_snapshot(result.target_epoch) == []
+        assert machine.revive.parity.check_all_parity() == []
+
+
+class TestConfigValidation:
+    def test_fraction_bounds(self):
+        from repro.core.config import ReViveConfig
+
+        with pytest.raises(ValueError):
+            ReViveConfig(mirrored_fraction=1.5)
+        with pytest.raises(ValueError):
+            ReViveConfig(parity_group_size=1, mirrored_fraction=0.5)
+        cfg = ReViveConfig.cp_hybrid(100_000)
+        assert cfg.mirrored_fraction == 0.25

@@ -1,0 +1,100 @@
+"""Tests for the optional-L-bit designs of Section 4.1.2.
+
+The L bit is a performance optimisation, not a correctness requirement:
+without it (or with bits held only in a bounded directory cache), lines
+are occasionally logged more than once per epoch, and recovery relies
+on applying duplicate entries in reverse insertion order.
+"""
+
+import pytest
+
+from conftest import ToyWorkload, build_tiny_machine
+
+from repro.core.faults import NodeLossFault, TransientSystemFault
+from repro.core.log import LINES_PER_BLOCK, MemoryLog
+from repro.core.recovery import RecoveryManager
+
+
+def region(n_blocks=16):
+    return [0x300000 + i * 64 for i in range(n_blocks * LINES_PER_BLOCK)]
+
+
+class TestBoundedLBits:
+    def test_displacement_clears_bits(self):
+        log = MemoryLog(0, region(), 64, l_bit_capacity=2)
+        log.set_logged(0x40)
+        log.set_logged(0x80)
+        log.set_logged(0xc0)          # displaces 0x40
+        assert not log.is_logged(0x40)
+        assert log.is_logged(0x80) and log.is_logged(0xc0)
+
+    def test_lru_refresh(self):
+        log = MemoryLog(0, region(), 64, l_bit_capacity=2)
+        log.set_logged(0x40)
+        log.set_logged(0x80)
+        log.set_logged(0x40)          # refresh
+        log.set_logged(0xc0)          # displaces 0x80, not 0x40
+        assert log.is_logged(0x40)
+        assert not log.is_logged(0x80)
+
+    def test_zero_capacity_disables_bits(self):
+        log = MemoryLog(0, region(), 64, l_bit_capacity=0)
+        log.set_logged(0x40)
+        assert not log.is_logged(0x40)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryLog(0, region(), 64, l_bit_capacity=-1)
+
+
+class TestRecoveryWithoutLBits:
+    @pytest.mark.parametrize("capacity", [0, 8])
+    def test_duplicate_entries_still_roll_back_exactly(self, capacity):
+        """Both degraded L-bit designs recover bit-for-bit: the reverse
+        insertion order makes the oldest (checkpoint-value) entry of
+        each line land last."""
+        machine = build_tiny_machine(l_bit_capacity=capacity,
+                                     log_bytes_per_node=96 * 1024)
+        machine.attach_workload(ToyWorkload(rounds=6,
+                                            refs_per_round=1500))
+        coord = machine.checkpointing
+        horizon = 3 * coord.interval_ns
+        while coord.checkpoints_committed < 2 and not machine.all_finished:
+            machine.run(until=horizon)
+            horizon += coord.interval_ns
+        detect = coord.commit_times[2] + int(0.8 * coord.interval_ns)
+        machine.run(until=detect)
+        TransientSystemFault().apply(machine)
+        result = RecoveryManager(machine).recover(detect_time=detect,
+                                                  target_epoch=1)
+        assert machine.verify_against_snapshot(result.target_epoch) == []
+
+    def test_node_loss_without_l_bits(self):
+        machine = build_tiny_machine(l_bit_capacity=0,
+                                     log_bytes_per_node=96 * 1024)
+        machine.attach_workload(ToyWorkload(rounds=6, refs_per_round=1500))
+        coord = machine.checkpointing
+        horizon = 3 * coord.interval_ns
+        while coord.checkpoints_committed < 2 and not machine.all_finished:
+            machine.run(until=horizon)
+            horizon += coord.interval_ns
+        detect = coord.commit_times[2] + int(0.8 * coord.interval_ns)
+        machine.run(until=detect)
+        NodeLossFault(1).apply(machine)
+        result = RecoveryManager(machine).recover(detect_time=detect,
+                                                  lost_node=1,
+                                                  target_epoch=1)
+        assert machine.verify_against_snapshot(result.target_epoch) == []
+        assert machine.revive.parity.check_all_parity() == []
+
+    def test_no_l_bits_logs_more(self):
+        def run(capacity):
+            machine = build_tiny_machine(l_bit_capacity=capacity,
+                                         log_bytes_per_node=96 * 1024)
+            machine.attach_workload(ToyWorkload(rounds=3,
+                                                refs_per_round=1500))
+            machine.run()
+            return sum(log.appends
+                       for log in machine.revive.logs.values())
+
+        assert run(0) > run(None)

@@ -1,0 +1,200 @@
+"""Unit tests for the memory log (Section 3.2.2 / 4.2)."""
+
+import pytest
+
+from repro.core.log import (
+    ENTRIES_PER_BLOCK,
+    ENTRY_BYTES,
+    LINES_PER_BLOCK,
+    LogOverflowError,
+    MemoryLog,
+    _pack_word,
+    _unpack_word,
+    unwrap_sequence,
+)
+
+
+def make_log(n_blocks=8, node=0):
+    region = [0x100000 + i * 64 for i in range(n_blocks * LINES_PER_BLOCK)]
+    return MemoryLog(node, region, line_size=64)
+
+
+class BackingStore:
+    """Minimal memory stand-in: executes a log's writes."""
+
+    def __init__(self):
+        self.lines = {}
+
+    def read(self, addr):
+        return self.lines.get(addr, 0)
+
+    def apply(self, writes):
+        for addr, value in writes:
+            self.lines[addr] = value
+
+
+def append(log, store, addr, value, is_commit=False):
+    writes = log.make_writes(addr, value, store.read, is_commit=is_commit)
+    store.apply(writes)
+    log.commit_append(addr, is_commit=is_commit)
+    return writes
+
+
+class TestPacking:
+    def test_word_roundtrip(self):
+        for addr_line, epoch, seq in [(0, 0, 0), (12345, 17, 999),
+                                      ((1 << 40) - 2, 127, 65535)]:
+            word = _pack_word(addr_line, epoch, seq, valid=True)
+            got_addr, got_epoch, got_seq, valid = _unpack_word(word)
+            assert (got_addr, got_epoch, got_seq) == (addr_line, epoch, seq)
+            assert valid
+
+    def test_invalid_marker(self):
+        word = _pack_word(1, 1, 1, valid=False)
+        assert not _unpack_word(word)[3]
+
+    def test_fields_wrap(self):
+        word = _pack_word(5, 130, 70000, valid=True)
+        _a, epoch, seq, _v = _unpack_word(word)
+        assert epoch == 130 % 128
+        assert seq == 70000 % 65536
+
+
+class TestUnwrapSequence:
+    def test_no_wrap(self):
+        rebased = unwrap_sequence([5, 10, 3])
+        assert rebased == {5: 5, 10: 10, 3: 3}
+
+    def test_wrap(self):
+        seqs = [65530, 65535, 2, 7]
+        rebased = unwrap_sequence(seqs)
+        order = sorted(seqs, key=lambda s: rebased[s])
+        assert order == [65530, 65535, 2, 7]
+
+    def test_empty(self):
+        assert unwrap_sequence([]) == {}
+
+
+class TestGeometryAndValidation:
+    def test_too_small_region(self):
+        with pytest.raises(ValueError):
+            MemoryLog(0, [0, 64], line_size=64)
+
+    def test_capacity(self):
+        log = make_log(n_blocks=8)
+        assert log.capacity_slots == 8 * ENTRIES_PER_BLOCK
+
+    def test_marker_is_written_last(self):
+        log, store = make_log(), BackingStore()
+        writes = log.make_writes(0x4000, 99, store.read)
+        assert len(writes) == 2
+        entry_line, meta_line = writes[0][0], writes[1][0]
+        assert entry_line != meta_line
+        assert writes[0][1] == 99           # pre-image first
+        # The metadata line is the first line of the block.
+        assert meta_line == log.region_lines[0]
+
+
+class TestAppendDecode:
+    def test_roundtrip(self):
+        log, store = make_log(), BackingStore()
+        append(log, store, 0x4000, 111)
+        append(log, store, 0x4040, 222)
+        entries = log.decode_region(store.read)
+        assert [(e.addr, e.value) for e in entries] == [
+            (0x4000, 111), (0x4040, 222)]
+        assert all(e.epoch == 0 for e in entries)
+
+    def test_l_bits(self):
+        log, store = make_log(), BackingStore()
+        assert not log.is_logged(0x4000)
+        append(log, store, 0x4000, 1)
+        assert log.is_logged(0x4000)
+        log.gang_clear_logged()
+        assert not log.is_logged(0x4000)
+
+    def test_bytes_used(self):
+        log, store = make_log(), BackingStore()
+        for i in range(5):
+            append(log, store, 0x4000 + i * 64, i)
+        assert log.bytes_used == 5 * ENTRY_BYTES
+        assert log.max_bytes_used == 5 * ENTRY_BYTES
+
+    def test_overflow(self):
+        log, store = make_log(n_blocks=2), BackingStore()
+        for i in range(log.capacity_slots):
+            append(log, store, 0x4000 + i * 64, i)
+        with pytest.raises(LogOverflowError):
+            log.make_writes(0x9000, 0, store.read)
+
+    def test_commit_records(self):
+        log, store = make_log(), BackingStore()
+        append(log, store, 0x4000, 1)
+        log.advance_epoch()
+        append(log, store, 0, log.current_epoch, is_commit=True)
+        records = log.find_commit_records(store.read)
+        assert len(records) == 1
+        assert records[0].value == 1      # full epoch echoed in the line
+        assert records[0].epoch == 1
+
+
+class TestEpochsAndReclaim:
+    def fill_epochs(self, log, store, per_epoch=4, epochs=3):
+        for epoch in range(epochs):
+            for i in range(per_epoch):
+                append(log, store, 0x4000 + (epoch * per_epoch + i) * 64,
+                       epoch * 100 + i)
+            log.advance_epoch()
+        return log
+
+    def test_epoch_start_tracking(self):
+        log, store = make_log(), BackingStore()
+        self.fill_epochs(log, store)
+        assert log.epoch_start == {0: 0, 1: 4, 2: 8, 3: 12}
+
+    def test_reclaim_frees_slots(self):
+        log, store = make_log(), BackingStore()
+        self.fill_epochs(log, store)
+        freed = log.reclaim(oldest_epoch_to_keep=2)
+        assert freed == 8
+        assert log.tail == 8
+        assert 0 not in log.epoch_start and 1 not in log.epoch_start
+
+    def test_reclaim_is_idempotent(self):
+        log, store = make_log(), BackingStore()
+        self.fill_epochs(log, store)
+        log.reclaim(2)
+        assert log.reclaim(2) == 0
+
+    def test_ring_wraps_after_reclaim(self):
+        log, store = make_log(n_blocks=2), BackingStore()   # 16 slots
+        for round_ in range(6):
+            for i in range(8):
+                append(log, store, 0x4000 + i * 64, round_ * 8 + i)
+            log.advance_epoch()
+            log.reclaim(log.current_epoch - 1)
+            log.gang_clear_logged()
+        assert log.head > log.capacity_slots   # genuinely wrapped
+
+    def test_entries_to_undo_newest_first(self):
+        log, store = make_log(), BackingStore()
+        self.fill_epochs(log, store, per_epoch=3, epochs=2)
+        entries = log.entries_to_undo(0, log.current_epoch, store.read)
+        seqs = [e.seq for e in entries]
+        assert seqs == sorted(seqs, reverse=True)
+        assert len(entries) == 6
+
+    def test_entries_to_undo_filters_old_epochs(self):
+        log, store = make_log(), BackingStore()
+        self.fill_epochs(log, store, per_epoch=3, epochs=3)
+        entries = log.entries_to_undo(2, log.current_epoch, store.read)
+        assert len(entries) == 3
+        assert all(e.epoch == 2 for e in entries)
+
+    def test_reset_to_epoch(self):
+        log, store = make_log(), BackingStore()
+        self.fill_epochs(log, store, per_epoch=3, epochs=2)
+        log.reset_to_epoch(1)
+        assert log.current_epoch == 1
+        assert log.head == log.epoch_start[1]
+        assert not log.logged_lines

@@ -1,0 +1,89 @@
+"""Unit tests for machine configuration and presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine.config import MachineConfig
+
+
+class TestPresets:
+    def test_paper_matches_table3(self):
+        cfg = MachineConfig.paper()
+        assert cfg.n_nodes == 16
+        assert cfg.l1_size == 16 * 1024
+        assert cfg.l2_size == 128 * 1024
+        assert cfg.line_size == 64
+        assert cfg.dir_latency_ns == 21
+        assert cfg.net_base_ns == 30 and cfg.net_per_hop_ns == 8
+
+    def test_bench_scales_caches(self):
+        cfg = MachineConfig.bench()
+        assert cfg.l2_size == 32 * 1024
+        assert cfg.l1_size < MachineConfig.paper().l1_size
+
+    def test_tiny_shapes(self):
+        for n in (1, 2, 4, 8, 16):
+            cfg = MachineConfig.tiny(n)
+            assert cfg.n_nodes == n
+            assert cfg.torus_width * cfg.torus_height == n
+
+    def test_tiny_rejects_odd_sizes(self):
+        with pytest.raises(ValueError):
+            MachineConfig.tiny(3)
+
+
+class TestValidation:
+    def test_torus_must_cover_nodes(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_nodes=16, torus_width=3, torus_height=4)
+
+    def test_power_of_two_sizes(self):
+        with pytest.raises(ValueError):
+            MachineConfig(line_size=48)
+        with pytest.raises(ValueError):
+            MachineConfig(l2_size=100_000)
+
+    def test_inclusive_hierarchy(self):
+        with pytest.raises(ValueError):
+            MachineConfig(l1_size=256 * 1024, l2_size=128 * 1024)
+
+    def test_node_memory_page_aligned(self):
+        with pytest.raises(ValueError):
+            MachineConfig(node_memory_bytes=4096 * 3 + 1)
+
+
+class TestDerived:
+    def test_lines_and_pages(self):
+        cfg = MachineConfig.paper()
+        assert cfg.lines_per_page == cfg.page_size // cfg.line_size
+        assert cfg.pages_per_node * cfg.page_size == cfg.node_memory_bytes
+
+    def test_hops_torus_wraps(self):
+        cfg = MachineConfig.paper()      # 4x4 torus
+        assert cfg.hops(0, 0) == 0
+        assert cfg.hops(0, 1) == 1
+        assert cfg.hops(0, 3) == 1       # wraparound in x
+        assert cfg.hops(0, 12) == 1      # wraparound in y
+        assert cfg.hops(0, 10) == 4      # farthest corner: 2 + 2
+
+    def test_hops_symmetric(self):
+        cfg = MachineConfig.paper()
+        for a in range(16):
+            for b in range(16):
+                assert cfg.hops(a, b) == cfg.hops(b, a)
+
+    def test_net_latency(self):
+        cfg = MachineConfig.paper()
+        assert cfg.net_latency(0, 0) == 0
+        assert cfg.net_latency(0, 1) == 38
+        assert cfg.net_latency(0, 10) == 30 + 8 * 4
+
+    def test_line_message_bytes(self):
+        cfg = MachineConfig.paper()
+        assert cfg.line_message_bytes() == 8 + 64
+
+    def test_frozen_fields_survive_replace(self):
+        cfg = dataclasses.replace(MachineConfig.bench(), ipc=2.0)
+        assert cfg.ipc == 2.0
+        assert cfg.l2_size == 32 * 1024

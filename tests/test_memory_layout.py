@@ -1,0 +1,171 @@
+"""Unit tests for the parity geometry and the address space."""
+
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.memory.layout import AddressSpace, ParityGeometry
+
+
+def make_geometry(group_size=3, n_nodes=4):
+    return ParityGeometry(MachineConfig.tiny(n_nodes), group_size)
+
+
+class TestParityGeometry:
+    def test_disabled_geometry(self):
+        g = make_geometry(0)
+        assert not g.enabled
+        assert not g.is_parity_page(0, 0)
+        assert g.parity_fraction() == 0.0
+        with pytest.raises(RuntimeError):
+            g.cluster_of(0)
+
+    def test_cluster_membership(self):
+        g = ParityGeometry(MachineConfig.tiny(16), 7)
+        assert g.cluster_of(0) == list(range(8))
+        assert g.cluster_of(12) == list(range(8, 16))
+        assert g.position_in_cluster(9) == 1
+
+    def test_nodes_must_divide_into_clusters(self):
+        with pytest.raises(ValueError):
+            ParityGeometry(MachineConfig.tiny(4), 7)
+
+    def test_raid5_rotation(self):
+        g = make_geometry(3)       # clusters of 4 on 4 nodes
+        # Page p of node n is parity iff p % 4 == n.
+        for node in range(4):
+            for page in range(8):
+                assert g.is_parity_page(node, page) == (page % 4 == node)
+
+    def test_parity_fraction(self):
+        assert make_geometry(3).parity_fraction() == pytest.approx(0.25)
+        assert make_geometry(1).parity_fraction() == pytest.approx(0.5)
+        g16 = ParityGeometry(MachineConfig.tiny(16), 7)
+        assert g16.parity_fraction() == pytest.approx(0.125)
+
+    def test_parity_location_is_never_self(self):
+        g = make_geometry(3)
+        for node in range(4):
+            for page in range(16):
+                if g.is_parity_page(node, page):
+                    continue
+                pnode, ppage = g.parity_location(node, page)
+                assert pnode != node
+                assert ppage == page
+                assert g.is_parity_page(pnode, ppage)
+
+    def test_parity_location_rejects_parity_pages(self):
+        g = make_geometry(3)
+        with pytest.raises(ValueError):
+            g.parity_location(0, 0)    # page 0 of node 0 is parity
+
+    def test_stripe_data_pages(self):
+        g = make_geometry(3)
+        data = g.stripe_data_pages(0, 0)
+        assert data == [(1, 0), (2, 0), (3, 0)]
+        with pytest.raises(ValueError):
+            g.stripe_data_pages(1, 0)  # not a parity page
+
+    def test_stripe_of_includes_whole_cluster(self):
+        g = make_geometry(3)
+        assert g.stripe_of(2, 5) == [(0, 5), (1, 5), (2, 5), (3, 5)]
+
+    def test_data_pages_skip_parity(self):
+        g = make_geometry(1, n_nodes=2)    # mirroring
+        pages = g.data_pages_of_node(0)
+        assert all(p % 2 == 1 for p in pages)
+        assert len(pages) == MachineConfig.tiny(2).pages_per_node // 2
+
+    def test_mirroring_partner(self):
+        g = make_geometry(1, n_nodes=4)
+        pnode, _ = g.parity_location(0, 1)
+        assert pnode == 1
+        pnode, _ = g.parity_location(3, 0)
+        assert pnode == 2
+
+
+class TestAddressSpace:
+    def make(self, reserved=0, group=3):
+        cfg = MachineConfig.tiny(4)
+        return cfg, AddressSpace(cfg, ParityGeometry(cfg, group),
+                                 reserved_pages_per_node=reserved)
+
+    def test_first_touch_allocates_locally(self):
+        cfg, space = self.make()
+        paddr = space.translate(0x1234, toucher_node=2)
+        assert space.node_of(paddr) == 2
+        assert space.first_touch_allocations == 1
+
+    def test_translation_is_stable(self):
+        _cfg, space = self.make()
+        a = space.translate(0x5000, toucher_node=1)
+        b = space.translate(0x5008, toucher_node=3)   # same page
+        assert b == a + 8
+        assert space.first_touch_allocations == 1
+
+    def test_offsets_preserved(self):
+        cfg, space = self.make()
+        paddr = space.translate(0x1fff, toucher_node=0)
+        assert paddr % cfg.page_size == 0x1fff % cfg.page_size
+
+    def test_line_alignment(self):
+        cfg, space = self.make()
+        line = space.translate_line(0x1039, toucher_node=0)
+        assert line % cfg.line_size == 0
+
+    def test_never_allocates_parity_pages(self):
+        cfg, space = self.make()
+        for vpage in range(64):
+            paddr = space.translate(vpage * cfg.page_size, toucher_node=0)
+            node, page = space.node_of(paddr), space.page_of(paddr)
+            assert not space.geometry.is_parity_page(node, page)
+
+    def test_reserved_pages_not_handed_out(self):
+        cfg, space = self.make(reserved=2)
+        reserved = {(n, p) for n in range(4)
+                    for p in space.reserved_pages[n]}
+        assert all(len(space.reserved_pages[n]) == 2 for n in range(4))
+        for vpage in range(32):
+            paddr = space.translate(vpage * cfg.page_size, toucher_node=0)
+            key = (space.node_of(paddr), space.page_of(paddr))
+            assert key not in reserved
+
+    def test_fallback_when_node_full(self):
+        cfg, space = self.make()
+        data_pages_per_node = len(
+            space.geometry.data_pages_of_node(0))
+        # Exhaust node 0, next allocation spills elsewhere.
+        for vpage in range(data_pages_per_node):
+            space.translate(vpage * cfg.page_size, toucher_node=0)
+        paddr = space.translate((data_pages_per_node + 1) * cfg.page_size,
+                                toucher_node=0)
+        assert space.node_of(paddr) != 0
+
+    def test_out_of_memory(self):
+        cfg, space = self.make()
+        total = sum(len(space.geometry.data_pages_of_node(n))
+                    for n in range(4))
+        for vpage in range(total):
+            space.translate(vpage * cfg.page_size, toucher_node=vpage % 4)
+        with pytest.raises(MemoryError):
+            space.translate((total + 1) * cfg.page_size, toucher_node=0)
+
+    def test_mapped_physical_pages(self):
+        cfg, space = self.make()
+        space.translate(0, toucher_node=1)
+        space.translate(cfg.page_size, toucher_node=2)
+        mapped = space.mapped_physical_pages()
+        assert len(mapped) == 2
+        assert {n for n, _p in mapped} == {1, 2}
+
+    def test_lines_of_page(self):
+        cfg, space = self.make()
+        lines = list(space.lines_of_page(1, 0))
+        assert len(lines) == cfg.lines_per_page
+        assert lines[0] == space.page_base(1, 0)
+        assert lines[1] - lines[0] == cfg.line_size
+
+    def test_is_mapped(self):
+        cfg, space = self.make()
+        assert not space.is_mapped(0x9999)
+        space.translate(0x9999, toucher_node=0)
+        assert space.is_mapped(0x9999)

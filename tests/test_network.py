@@ -1,0 +1,104 @@
+"""Unit tests for the torus topology and network timing."""
+
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.network.network import Network
+from repro.network.topology import Torus2D
+from repro.sim.stats import StatsRegistry
+
+
+class TestTorus2D:
+    def test_coords_roundtrip(self):
+        t = Torus2D(4, 4)
+        for node in range(16):
+            x, y = t.coords(node)
+            assert t.node_at(x, y) == node
+
+    def test_neighbors_wrap(self):
+        t = Torus2D(4, 4)
+        assert t.neighbor(0, 1) == 3        # -x wraps
+        assert t.neighbor(3, 0) == 0        # +x wraps
+        assert t.neighbor(0, 3) == 12       # -y wraps
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            Torus2D(4, 4).neighbor(0, 9)
+
+    def test_route_length_equals_hops(self):
+        t = Torus2D(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                assert len(t.route(src, dst)) == t.hops(src, dst)
+
+    def test_route_endpoints(self):
+        t = Torus2D(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                route = t.route(src, dst)
+                assert route[0][0] == src
+                node = src
+                for link_node, direction in route:
+                    assert link_node == node
+                    node = t.neighbor(node, direction)
+                assert node == dst
+
+    def test_shortest_way_around(self):
+        t = Torus2D(4, 4)
+        assert t.hops(0, 3) == 1
+        assert t.hops(0, 2) == 2
+        assert t.hops(0, 10) == 4
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Torus2D(0, 4)
+
+
+class TestNetwork:
+    def make(self):
+        cfg = MachineConfig.tiny(4)
+        stats = StatsRegistry()
+        return cfg, stats, Network(cfg, stats)
+
+    def test_local_messages_are_free(self):
+        _cfg, stats, net = self.make()
+        assert net.send(1, 1, 1000, at=50, category="PAR") == 50
+        assert stats.network_traffic.total == 0
+        assert net.messages_sent == 0
+
+    def test_latency_matches_table3_formula(self):
+        cfg, _stats, net = self.make()
+        arrival = net.send_control(0, 1, at=0, category="RD/RDX")
+        # NI occupancy start + serialisation + 30 + 8 * hops.
+        occupancy = max(1, round(cfg.header_bytes / cfg.ni_bytes_per_ns))
+        assert arrival == occupancy + cfg.net_base_ns + cfg.net_per_hop_ns
+
+    def test_traffic_accounting(self):
+        cfg, stats, net = self.make()
+        net.send_line(0, 1, at=0, category="PAR")
+        net.send_control(1, 0, at=0, category="PAR")
+        expected = cfg.line_message_bytes() + cfg.header_bytes
+        assert stats.network_traffic.bytes_by_category["PAR"] == expected
+        assert net.messages_sent == 2
+
+    def test_contention_slows_messages(self):
+        _cfg, _stats, net = self.make()
+        arrivals = [net.send_line(0, 1, at=0, category="PAR")
+                    for _ in range(200)]
+        assert max(arrivals) > arrivals[0] + 1000
+
+    def test_link_utilization_bounds(self):
+        _cfg, _stats, net = self.make()
+        for _ in range(100):
+            net.send_line(0, 1, at=0, category="PAR")
+        u = net.link_utilization(10_000)
+        assert 0.0 < u <= 1.0
+
+    def test_reset(self):
+        _cfg, _stats, net = self.make()
+        net.send_line(0, 1, at=0, category="PAR")
+        net.reset()
+        assert net.messages_sent == 0
+        assert net.link_utilization(1000) == 0.0

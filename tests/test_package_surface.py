@@ -1,0 +1,47 @@
+"""Import-surface checks: subpackage exports stay importable and sane."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro.sim",
+    "repro.machine",
+    "repro.cpu",
+    "repro.cache",
+    "repro.coherence",
+    "repro.memory",
+    "repro.network",
+    "repro.core",
+    "repro.workloads",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_exports_resolve(name):
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", []):
+        assert getattr(module, export) is not None, f"{name}.{export}"
+
+
+def test_machine_lazy_getattr_error():
+    import repro.machine
+
+    with pytest.raises(AttributeError):
+        repro.machine.nonsense
+
+
+def test_core_exports_cover_the_mechanisms():
+    import repro.core as core
+
+    for name in ("ReViveConfig", "ParityEngine", "MemoryLog",
+                 "ReViveController", "CheckpointCoordinator",
+                 "RecoveryManager", "NodeLossFault", "IOManager"):
+        assert name in core.__all__
+
+
+def test_version_is_consistent():
+    import repro
+
+    assert repro.__version__.count(".") == 2

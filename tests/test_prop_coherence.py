@@ -1,0 +1,90 @@
+"""Property-based coherence invariants.
+
+Random interleavings of reads/writes/writebacks from random processors
+must preserve the single-writer multiple-reader invariant, directory
+agreement with the caches, and value coherence (a reader sees the last
+value written to the line).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import build_tiny_machine
+
+from repro.cache.cache import MODIFIED
+from repro.coherence.directory import (
+    DIR_EXCLUSIVE,
+    DIR_SHARED,
+    DIR_UNCACHED,
+)
+
+
+def check_invariants(machine, lines):
+    for line_addr in lines:
+        home = machine.nodes[machine.addr_space.node_of(line_addr)]
+        entry = home.directory.peek(line_addr)
+        holders = [n for n in machine.nodes
+                   if n.hierarchy.l2.peek(line_addr) is not None]
+        dirty = [n for n in machine.nodes
+                 if (n.hierarchy.l2.peek(line_addr) is not None and
+                     n.hierarchy.l2.peek(line_addr).state == MODIFIED)]
+        # Single writer.
+        assert len(dirty) <= 1, f"{line_addr:#x}: two dirty copies"
+        if entry is None or entry.state == DIR_UNCACHED:
+            assert not holders
+        elif entry.state == DIR_EXCLUSIVE:
+            assert {n.node_id for n in holders} <= {entry.owner}
+        else:
+            assert entry.state == DIR_SHARED
+            assert not dirty
+            assert {n.node_id for n in holders} <= entry.sharers
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3),        # processor
+                          st.integers(0, 7),        # line index
+                          st.sampled_from(["r", "w", "wb"])),
+                min_size=1, max_size=120))
+def test_random_interleavings_preserve_coherence(ops):
+    machine = build_tiny_machine(revive=False)
+    space = machine.addr_space
+    lines = [space.translate_line((1 << 32) + i * 4096, i % 4)
+             for i in range(8)]
+    last_written = {}
+    t = 0
+    for proc, line_index, op in ops:
+        t += 100
+        line_addr = lines[line_index]
+        hierarchy = machine.nodes[proc].hierarchy
+        if op == "r":
+            result = hierarchy.probe(line_addr, is_write=False)
+            if not result.is_hit:
+                machine.protocol.read(proc, line_addr, t)
+            # Value coherence: the holder's dirty value or memory must
+            # reflect the last write.
+            if line_addr in last_written:
+                expected = last_written[line_addr]
+                cached = None
+                for node in machine.nodes:
+                    line = node.hierarchy.l2.peek(line_addr)
+                    if line is not None and line.state == MODIFIED:
+                        cached = line.value
+                home = machine.nodes[space.node_of(line_addr)]
+                seen = cached if cached is not None \
+                    else home.memory.read_line(line_addr)
+                assert seen == expected
+        elif op == "w":
+            result = hierarchy.probe(line_addr, is_write=True)
+            if result.need == "UPG":
+                machine.protocol.write(proc, line_addr, t, upgrade=True)
+            elif result.need == "GETX":
+                machine.protocol.write(proc, line_addr, t, upgrade=False)
+            value = machine.next_store_value()
+            hierarchy.write_value(line_addr, value)
+            last_written[line_addr] = value
+        else:
+            line = hierarchy.l2.peek(line_addr)
+            if line is not None and line.state == MODIFIED:
+                value = line.value
+                hierarchy.invalidate(line_addr)
+                machine.protocol.writeback(proc, line_addr, value, t)
+        check_invariants(machine, lines)

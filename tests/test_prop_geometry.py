@@ -1,0 +1,89 @@
+"""Property-based tests for parity geometries (plain and hybrid)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.config import MachineConfig
+from repro.memory.layout import HybridGeometry, ParityGeometry
+
+
+def geometries(n_nodes, group, mirrored):
+    cfg = MachineConfig.tiny(n_nodes)
+    if mirrored is None:
+        return cfg, ParityGeometry(cfg, group)
+    return cfg, HybridGeometry(cfg, group,
+                               mirrored_stripes=mirrored)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from([(4, 1), (4, 3), (8, 1), (8, 3), (8, 7), (16, 7)]),
+       st.integers(0, 31), st.booleans(), st.integers(0, 16))
+def test_geometry_partition_and_inverse(shape, ppage, hybrid, mirrored):
+    n_nodes, group = shape
+    cluster = group + 1
+    use_hybrid = hybrid and cluster % 2 == 0 and group > 1
+    cfg, geometry = geometries(n_nodes, group,
+                               mirrored if use_hybrid else None)
+    ppage = ppage % cfg.pages_per_node
+
+    for node in range(n_nodes):
+        if geometry.is_parity_page(node, ppage):
+            # Inverse: every data member of this stripe points back.
+            data = geometry.stripe_data_pages(node, ppage)
+            assert data, "parity page protecting nothing"
+            for data_node, data_page in data:
+                assert not geometry.is_parity_page(data_node, data_page)
+                assert geometry.parity_location(data_node, data_page) \
+                    == (node, ppage)
+        else:
+            parity_node, parity_page = geometry.parity_location(node,
+                                                                ppage)
+            assert parity_node != node
+            assert geometry.is_parity_page(parity_node, parity_page)
+            assert (node, ppage) in geometry.stripe_data_pages(
+                parity_node, parity_page)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from([(4, 3), (8, 7), (16, 7)]), st.integers(0, 31))
+def test_exactly_one_parity_page_per_stripe(shape, ppage):
+    n_nodes, group = shape
+    cfg, geometry = geometries(n_nodes, group, None)
+    ppage = ppage % cfg.pages_per_node
+    for base in range(0, n_nodes, group + 1):
+        cluster = range(base, base + group + 1)
+        parity_count = sum(geometry.is_parity_page(n, ppage)
+                           for n in cluster)
+        assert parity_count == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 63), st.integers(1, 32))
+def test_hybrid_stripes_pair_exactly(ppage, mirrored):
+    cfg = MachineConfig.tiny(8)
+    geometry = HybridGeometry(cfg, 3, mirrored_stripes=mirrored)
+    ppage = ppage % cfg.pages_per_node
+    for node in range(8):
+        stripe = geometry.stripe_of(node, ppage)
+        if geometry.is_mirrored_page(node, ppage):
+            assert len(stripe) == 2
+            a, b = (n for n, _p in stripe)
+            assert a // 4 == b // 4            # same cluster
+            assert abs(a - b) == 1             # adjacent pair
+        else:
+            assert len(stripe) == 4            # whole cluster
+
+        # Exactly one mirror/parity holder per stripe.
+        holders = sum(geometry.is_parity_page(n, p) for n, p in stripe)
+        assert holders == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 64))
+def test_hybrid_parity_fraction_monotone(mirrored):
+    cfg = MachineConfig.tiny(4)
+    mirrored = mirrored % (cfg.pages_per_node + 1)
+    fraction = HybridGeometry(cfg, 3, mirrored).parity_fraction()
+    assert 0.25 <= fraction <= 0.5
+    if mirrored:
+        less = HybridGeometry(cfg, 3, mirrored - 1).parity_fraction()
+        assert fraction >= less

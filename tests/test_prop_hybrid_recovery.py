@@ -1,0 +1,45 @@
+"""Randomised recovery under the hybrid geometry and varied faults.
+
+Extends the core rollback property test across the extension axes:
+mirrored fraction, L-bit design, and fault location all randomised.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import ToyWorkload, build_tiny_machine
+
+from repro.core.faults import NodeLossFault, TransientSystemFault
+from repro.core.recovery import RecoveryManager
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1 << 16),
+       mirrored=st.sampled_from([0.0, 0.2, 0.5]),
+       l_bits=st.sampled_from([None, 64, 0]),
+       lost_node=st.sampled_from([None, 0, 3]))
+def test_recovery_is_exact_across_extension_axes(seed, mirrored, l_bits,
+                                                 lost_node):
+    machine = build_tiny_machine(mirrored_fraction=mirrored,
+                                 l_bit_capacity=l_bits,
+                                 log_bytes_per_node=96 * 1024)
+    machine.attach_workload(ToyWorkload(rounds=5, refs_per_round=1000,
+                                        seed=seed))
+    coord = machine.checkpointing
+    horizon = 3 * coord.interval_ns
+    while coord.checkpoints_committed < 2 and not machine.all_finished:
+        machine.run(until=horizon)
+        horizon += coord.interval_ns
+    if coord.checkpoints_committed < 2:
+        return
+    detect = coord.commit_times[2] + int(0.8 * coord.interval_ns)
+    machine.run(until=detect)
+
+    if lost_node is None:
+        TransientSystemFault().apply(machine)
+    else:
+        NodeLossFault(lost_node).apply(machine)
+    result = RecoveryManager(machine).recover(detect_time=detect,
+                                              lost_node=lost_node,
+                                              target_epoch=1)
+    assert machine.verify_against_snapshot(result.target_epoch) == []
+    assert machine.revive.parity.check_all_parity() == []

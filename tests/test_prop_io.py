@@ -1,0 +1,51 @@
+"""Property test: the output-commit invariants under random schedules.
+
+Whatever interleaving of output writes, commits, and rollbacks occurs:
+
+* a record is released at most once, and only by a commit that follows
+  its buffering;
+* released history only ever grows (rollbacks never retract it);
+* after a rollback, nothing buffered since the last commit survives.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import build_tiny_machine
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.sampled_from(["out0", "out1", "out3", "commit",
+                                 "rollback"]),
+                min_size=1, max_size=60))
+def test_output_commit_invariants(schedule):
+    machine = build_tiny_machine(io_buffer_pages=2,
+                                 log_bytes_per_node=64 * 1024)
+    io = machine.io_manager
+    payload = 0
+    unreleased_model = []        # payloads buffered since last commit
+    released_model = []
+    t = 0
+
+    for step in schedule:
+        t += 100
+        if step.startswith("out"):
+            node = int(step[3])
+            payload += 1
+            io.write_output(node, port=1, payload=payload, at=t)
+            unreleased_model.append(payload)
+        elif step == "commit":
+            newly = io.on_commit(committed_epoch=0)
+            assert sorted(r.payload for r in newly) \
+                == sorted(unreleased_model)
+            released_model.extend(sorted(r.payload for r in newly))
+            unreleased_model = []
+        else:
+            io.on_rollback(target_epoch=0)
+            unreleased_model = []
+
+        pending = sorted(r.payload for r in io.pending_outputs())
+        assert pending == sorted(unreleased_model)
+        # Released history is append-only and duplicate-free.
+        got_released = [r.payload for r in io.released]
+        assert len(got_released) == len(set(got_released))
+        assert sorted(got_released) == sorted(released_model)

@@ -1,0 +1,112 @@
+"""Property-based tests for the memory log."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.log import (
+    ENTRIES_PER_BLOCK,
+    LINES_PER_BLOCK,
+    MemoryLog,
+    _pack_word,
+    _unpack_word,
+    unwrap_sequence,
+)
+
+
+def fresh_log(n_blocks=16):
+    region = [0x200000 + i * 64 for i in range(n_blocks * LINES_PER_BLOCK)]
+    return MemoryLog(0, region, line_size=64)
+
+
+class Store:
+    def __init__(self):
+        self.lines = {}
+
+    def read(self, addr):
+        return self.lines.get(addr, 0)
+
+
+@given(st.integers(0, (1 << 40) - 1), st.integers(0, 1000),
+       st.integers(0, 1 << 20), st.booleans())
+def test_word_pack_unpack_roundtrip(addr_line, epoch, seq, valid):
+    word = _pack_word(addr_line, epoch, seq, valid)
+    got_addr, got_epoch, got_seq, got_valid = _unpack_word(word)
+    assert got_addr == addr_line
+    assert got_epoch == epoch % 128
+    assert got_seq == seq % 65536
+    assert got_valid == valid
+    assert 0 <= word < (1 << 64)
+
+
+@given(st.lists(st.integers(0, 65535), min_size=1, max_size=200))
+def test_unwrap_sequence_is_injective_over_small_windows(seqs):
+    # Restrict to a live window smaller than 2^15, as the log enforces.
+    base = seqs[0]
+    window = [(base + (s % (1 << 14))) % 65536 for s in seqs]
+    rebased = unwrap_sequence(window)
+    assert set(rebased) == set(window)
+    spread = max(rebased.values()) - min(rebased.values())
+    assert spread < 1 << 15
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 200), st.integers(0, 1 << 60)),
+                min_size=1, max_size=100),
+       st.integers(1, 4))
+def test_append_decode_roundtrip_across_epochs(ops, n_epochs):
+    """Whatever is appended (across epochs) decodes back exactly."""
+    log, store = fresh_log(), Store()
+    expected = []
+    per_epoch = max(1, len(ops) // n_epochs)
+    for index, (line_no, value) in enumerate(ops):
+        addr = 0x40_0000 + line_no * 64
+        writes = log.make_writes(addr, value, store.read)
+        for mem_line, content in writes:
+            store.lines[mem_line] = content
+        log.commit_append(addr)
+        expected.append((addr, value, log.current_epoch % 128))
+        if (index + 1) % per_epoch == 0:
+            log.advance_epoch()
+    decoded = [(e.addr, e.value, e.epoch)
+               for e in log.decode_region(store.read) if e.is_data]
+    assert sorted(decoded) == sorted(expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 6), st.integers(1, ENTRIES_PER_BLOCK * 3))
+def test_undo_order_is_strictly_newest_first(n_epochs, per_epoch):
+    log, store = fresh_log(n_blocks=32), Store()
+    stamp = 0
+    for _epoch in range(n_epochs):
+        for i in range(per_epoch):
+            addr = 0x40_0000 + i * 64
+            writes = log.make_writes(addr, stamp, store.read)
+            for mem_line, content in writes:
+                store.lines[mem_line] = content
+            log.commit_append(addr)
+            stamp += 1
+        log.advance_epoch()
+        log.gang_clear_logged()
+    entries = log.entries_to_undo(0, log.current_epoch, store.read)
+    values = [e.value for e in entries]
+    assert values == sorted(values, reverse=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 40), st.integers(2, 5))
+def test_reclaim_never_loses_retained_epochs(per_epoch, keep):
+    log, store = fresh_log(n_blocks=64), Store()
+    for _epoch in range(6):
+        for i in range(per_epoch):
+            addr = 0x40_0000 + i * 64
+            writes = log.make_writes(addr, log.current_epoch, store.read)
+            for mem_line, content in writes:
+                store.lines[mem_line] = content
+            log.commit_append(addr)
+        log.advance_epoch()
+        log.gang_clear_logged()
+        log.reclaim(max(0, log.current_epoch - (keep - 1)))
+    target = max(0, log.current_epoch - (keep - 1))
+    entries = log.entries_to_undo(target, log.current_epoch, store.read)
+    kept_epochs = {e.epoch for e in entries}
+    expected = {e % 128 for e in range(target, log.current_epoch)}
+    assert kept_epochs == expected

@@ -1,0 +1,53 @@
+"""Property tests for network timing invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.config import MachineConfig
+from repro.network.network import Network
+from repro.sim.stats import StatsRegistry
+
+
+def make_network():
+    return Network(MachineConfig.tiny(16), StatsRegistry())
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 100_000),
+       st.integers(1, 256))
+def test_arrival_never_beats_the_speed_of_light(src, dst, at, nbytes):
+    net = make_network()
+    cfg = net.config
+    arrival = net.send(src, dst, nbytes, at, "PAR")
+    assert arrival >= at + cfg.net_latency(src, dst)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 15), st.integers(0, 15), st.integers(1, 60))
+def test_repeated_sends_are_causally_ordered(src, dst, count):
+    """Messages injected back-to-back on one NI arrive no earlier than
+    the previous send's serialisation allows (FIFO per source)."""
+    net = make_network()
+    if src == dst:
+        return
+    arrivals = [net.send_line(src, dst, at=0, category="PAR")
+                for _ in range(count)]
+    assert arrivals == sorted(arrivals)
+    # Serialisation floor: k-th message needs k NI occupancies.
+    occupancy = max(1, round(net.config.line_message_bytes()
+                             / net.config.ni_bytes_per_ns))
+    assert arrivals[-1] >= (count - 1) * occupancy * 0.5
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 15), st.integers(0, 15))
+def test_traffic_bytes_account_exactly(src, dst):
+    net = make_network()
+    before = net.stats.network_traffic.total
+    net.send_control(src, dst, at=0, category="RD/RDX")
+    net.send_line(src, dst, at=0, category="ExeWB")
+    added = net.stats.network_traffic.total - before
+    if src == dst:
+        assert added == 0
+    else:
+        assert added == (net.config.header_bytes
+                         + net.config.line_message_bytes())

@@ -1,0 +1,66 @@
+"""Property-based tests for the calendar resource and the torus."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.topology import Torus2D
+from repro.sim.resources import BUCKET_NS, Resource
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50_000), st.integers(1, 100)),
+                min_size=1, max_size=300),
+       st.integers(1, 8))
+def test_acquire_never_starts_before_request(requests, ports):
+    r = Resource("r", 10, ports=ports)
+    for at, service in requests:
+        start = r.acquire(at, service)
+        assert start >= at
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 20_000), st.integers(1, 60)),
+                min_size=1, max_size=200))
+def test_busy_time_equals_total_service(requests):
+    r = Resource("r", 10)
+    for at, service in requests:
+        r.acquire(at, service)
+    assert r.busy_time == sum(s for _a, s in requests)
+    assert r.requests == len(requests)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 50), st.integers(1, BUCKET_NS))
+def test_capacity_is_conserved_per_bucket(n, service):
+    """No bucket may ever be booked past its capacity."""
+    r = Resource("r", service)
+    for _ in range(n):
+        r.acquire(0)
+    assert all(0 < used <= r._capacity for used in r._buckets.values())
+    booked = sum(r._buckets.values())
+    assert booked == n * service
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 8), st.integers(2, 8),
+       st.integers(0, 63), st.integers(0, 63))
+def test_torus_route_is_minimal_and_correct(width, height, a, b):
+    t = Torus2D(width, height)
+    src, dst = a % t.n_nodes, b % t.n_nodes
+    route = t.route(src, dst)
+    assert len(route) == t.hops(src, dst)
+    node = src
+    for link_node, direction in route:
+        assert link_node == node
+        node = t.neighbor(node, direction)
+    assert node == dst
+    # Minimality: no dimension detour beyond half the ring.
+    assert t.hops(src, dst) <= width // 2 + height // 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 8), st.integers(2, 8),
+       st.integers(0, 63), st.integers(0, 63))
+def test_torus_hops_symmetric(width, height, a, b):
+    t = Torus2D(width, height)
+    src, dst = a % t.n_nodes, b % t.n_nodes
+    assert t.hops(src, dst) == t.hops(dst, src)

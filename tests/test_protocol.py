@@ -1,0 +1,188 @@
+"""Integration tests for the directory protocol on a small machine.
+
+Baseline machine (no ReVive): checks coherence state machines, data
+movement (functional values), and transaction accounting.
+"""
+
+import pytest
+
+from conftest import build_tiny_machine
+
+from repro.cache.cache import EXCLUSIVE, MODIFIED, SHARED
+from repro.coherence.directory import (
+    DIR_EXCLUSIVE,
+    DIR_SHARED,
+    DIR_UNCACHED,
+)
+
+
+@pytest.fixture
+def machine():
+    return build_tiny_machine(revive=False)
+
+
+def line_at(machine, node, value=0):
+    """A line homed at ``node``; optionally pre-set its memory value."""
+    vaddr = (node + 1) * (1 << 30)
+    paddr = machine.addr_space.translate_line(vaddr, node)
+    if value:
+        machine.nodes[node].memory.write_line(paddr, value)
+    return paddr
+
+
+class TestReads:
+    def test_first_read_grants_exclusive(self, machine):
+        addr = line_at(machine, 1, value=77)
+        done = machine.protocol.read(0, addr, at=0)
+        assert done > 0
+        entry = machine.nodes[1].directory.entry(addr)
+        assert entry.state == DIR_EXCLUSIVE and entry.owner == 0
+        assert machine.nodes[0].hierarchy.l2.peek(addr).state == EXCLUSIVE
+
+    def test_second_reader_shares(self, machine):
+        addr = line_at(machine, 1)
+        machine.protocol.read(0, addr, at=0)
+        machine.protocol.read(2, addr, at=100)
+        entry = machine.nodes[1].directory.entry(addr)
+        assert entry.state == DIR_SHARED
+        assert entry.sharers == {0, 2}
+        assert machine.nodes[0].hierarchy.l2.peek(addr).state == SHARED
+
+    def test_read_from_dirty_owner_updates_memory(self, machine):
+        addr = line_at(machine, 1, value=10)
+        machine.protocol.write(0, addr, at=0, upgrade=False)
+        machine.nodes[0].hierarchy.write_value(addr, 42)
+        machine.protocol.read(2, addr, at=500)
+        # Sharing write-back: memory now holds the dirty value.
+        assert machine.nodes[1].memory.read_line(addr) == 42
+        entry = machine.nodes[1].directory.entry(addr)
+        assert entry.state == DIR_SHARED and entry.sharers == {0, 2}
+
+    def test_remote_read_costs_more_than_local(self, machine):
+        local = line_at(machine, 0)
+        remote = line_at(machine, 3)
+        t_local = machine.protocol.read(0, local, at=0)
+        t_remote = machine.protocol.read(0, remote, at=0)
+        assert t_remote - 0 > t_local - 0
+
+
+class TestWrites:
+    def test_write_miss_takes_ownership(self, machine):
+        addr = line_at(machine, 1, value=5)
+        machine.protocol.write(0, addr, at=0, upgrade=False)
+        entry = machine.nodes[1].directory.entry(addr)
+        assert entry.state == DIR_EXCLUSIVE and entry.owner == 0
+        line = machine.nodes[0].hierarchy.l2.peek(addr)
+        assert line.state == MODIFIED
+        assert line.value == 5          # old content transferred
+
+    def test_write_invalidates_sharers(self, machine):
+        addr = line_at(machine, 1)
+        machine.protocol.read(0, addr, at=0)
+        machine.protocol.read(2, addr, at=100)
+        machine.protocol.read(3, addr, at=200)
+        machine.protocol.write(2, addr, at=300, upgrade=True)
+        assert machine.nodes[0].hierarchy.l2.peek(addr) is None
+        assert machine.nodes[3].hierarchy.l2.peek(addr) is None
+        entry = machine.nodes[1].directory.entry(addr)
+        assert entry.state == DIR_EXCLUSIVE and entry.owner == 2
+        assert machine.stats.value("txn.invalidation") == 2
+
+    def test_dirty_ownership_transfer_preserves_value(self, machine):
+        addr = line_at(machine, 1, value=1)
+        machine.protocol.write(0, addr, at=0, upgrade=False)
+        machine.nodes[0].hierarchy.write_value(addr, 123)
+        machine.protocol.write(3, addr, at=500, upgrade=False)
+        # The dirty value moved cache-to-cache; memory keeps its
+        # checkpoint content (needed by the log).
+        line = machine.nodes[3].hierarchy.l2.peek(addr)
+        assert line.value == 123
+        assert machine.nodes[1].memory.read_line(addr) == 1
+        assert machine.nodes[0].hierarchy.l2.peek(addr) is None
+
+    def test_upgrade_on_own_exclusive_line(self, machine):
+        addr = line_at(machine, 1)
+        machine.protocol.read(0, addr, at=0)         # E at node 0
+        machine.nodes[0].hierarchy.l2.peek(addr).state = SHARED
+        machine.protocol.write(0, addr, at=100, upgrade=True)
+        assert machine.nodes[0].hierarchy.l2.peek(addr).state == MODIFIED
+
+
+class TestWritebacks:
+    def test_dirty_writeback_updates_memory_and_directory(self, machine):
+        addr = line_at(machine, 1)
+        machine.protocol.write(0, addr, at=0, upgrade=False)
+        machine.nodes[0].hierarchy.write_value(addr, 9)
+        machine.nodes[0].hierarchy.invalidate(addr)
+        machine.protocol.writeback(0, addr, 9, at=500)
+        assert machine.nodes[1].memory.read_line(addr) == 9
+        assert machine.nodes[1].directory.entry(addr).state == DIR_UNCACHED
+
+    def test_hint_drops_ownership_without_memory_write(self, machine):
+        addr = line_at(machine, 1, value=4)
+        machine.protocol.read(0, addr, at=0)          # E-clean at node 0
+        machine.nodes[0].hierarchy.invalidate(addr)
+        machine.protocol.writeback(0, addr, None, at=500)
+        assert machine.nodes[1].memory.read_line(addr) == 4
+        assert machine.nodes[1].directory.entry(addr).state == DIR_UNCACHED
+        assert machine.stats.value("txn.hint") == 1
+
+    def test_retain_clean_keeps_ownership(self, machine):
+        addr = line_at(machine, 1)
+        machine.protocol.write(0, addr, at=0, upgrade=False)
+        machine.nodes[0].hierarchy.write_value(addr, 8)
+        machine.protocol.writeback(0, addr, 8, at=500, category="CkpWB",
+                                   retain_clean=True)
+        entry = machine.nodes[1].directory.entry(addr)
+        assert entry.state == DIR_EXCLUSIVE and entry.owner == 0
+        assert machine.nodes[1].memory.read_line(addr) == 8
+
+
+class TestBusySerialisation:
+    def test_busy_line_delays_next_transaction(self, machine):
+        addr = line_at(machine, 1)
+        machine.protocol.read(0, addr, at=0)
+        entry = machine.nodes[1].directory.entry(addr)
+        entry.busy_until = 10_000
+        done = machine.protocol.read(2, addr, at=100)
+        assert done > 10_000
+
+
+class TestTrafficAccounting:
+    def test_read_traffic_is_rd_category(self, machine):
+        addr = line_at(machine, 1)
+        machine.protocol.read(0, addr, at=0)
+        assert machine.stats.network_traffic.bytes_by_category["RD/RDX"] > 0
+        assert machine.stats.memory_traffic.bytes_by_category["RD/RDX"] > 0
+
+    def test_writeback_traffic_category(self, machine):
+        addr = line_at(machine, 1)
+        machine.protocol.write(0, addr, at=0, upgrade=False)
+        machine.nodes[0].hierarchy.write_value(addr, 9)
+        machine.protocol.writeback(0, addr, 9, at=500, category="ExeWB")
+        assert machine.stats.network_traffic.bytes_by_category["ExeWB"] > 0
+
+
+class TestCleanOwnerPaths:
+    def test_read_from_clean_exclusive_owner(self, machine):
+        """3-hop read where the owner turns out clean: home supplies
+        data from memory; no sharing write-back happens."""
+        addr = line_at(machine, 1, value=5)
+        machine.protocol.read(0, addr, at=0)          # E-clean at node 0
+        wb_before = machine.stats.value("txn.writeback")
+        machine.protocol.read(2, addr, at=500)
+        assert machine.stats.value("txn.writeback") == wb_before
+        entry = machine.nodes[1].directory.entry(addr)
+        assert entry.state == DIR_SHARED and entry.sharers == {0, 2}
+
+    def test_getx_from_clean_exclusive_owner(self, machine):
+        """Ownership transfer from a clean owner: memory supplies the
+        data; the old owner's copy is invalidated."""
+        addr = line_at(machine, 1, value=31)
+        machine.protocol.read(0, addr, at=0)          # E-clean at node 0
+        machine.protocol.write(3, addr, at=500, upgrade=False)
+        assert machine.nodes[0].hierarchy.l2.peek(addr) is None
+        line = machine.nodes[3].hierarchy.l2.peek(addr)
+        assert line.value == 31                       # memory's content
+        entry = machine.nodes[1].directory.entry(addr)
+        assert entry.state == DIR_EXCLUSIVE and entry.owner == 3

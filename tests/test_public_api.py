@@ -1,0 +1,39 @@
+"""The root package exposes the documented public API."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            repro.no_such_thing
+
+    def test_end_to_end_via_public_api(self):
+        machine = repro.Machine(
+            repro.MachineConfig.tiny(4),
+            repro.ReViveConfig(parity_group_size=3,
+                               checkpoint_interval_ns=50_000,
+                               log_bytes_per_node=64 * 1024,
+                               debug_snapshots=True))
+        workload = repro.get_workload("lu", scale=0.05, n_procs=4)
+        machine.attach_workload(workload)
+        machine.run(until=120_000)
+        if machine.checkpointing.checkpoints_committed >= 1:
+            repro.TransientSystemFault().apply(machine)
+            result = repro.RecoveryManager(machine).recover(
+                detect_time=machine.simulator.now)
+            assert machine.verify_against_snapshot(
+                result.target_epoch) == []
+
+    def test_app_names(self):
+        assert "radix" in repro.APP_NAMES
+        assert len(repro.APP_NAMES) == 12

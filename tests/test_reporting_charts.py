@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.harness.reporting import bar_chart, stacked_bar_chart, timeline
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart(["a", "b"], [10.0, 5.0], width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        out = bar_chart(["a"], [0.0])
+        assert "#" not in out
+
+    def test_unit_suffix(self):
+        out = bar_chart(["x"], [3.0], unit="%")
+        assert "3%" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+
+class TestStackedBarChart:
+    def test_legend_and_fills(self):
+        out = stacked_bar_chart(
+            ["app1", "app2"],
+            {"RD": [4.0, 2.0], "PAR": [4.0, 0.0]}, width=16)
+        lines = out.splitlines()
+        assert lines[0].startswith("legend:")
+        assert "#=RD" in lines[0] and "==PAR" in lines[0].replace(" ", "")
+        assert lines[1].count("#") == 8
+        assert lines[1].count("=") == 8
+        assert lines[2].count("#") == 4
+
+    def test_series_alignment_checked(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart(["a"], {"x": [1.0, 2.0]})
+
+    def test_too_many_categories(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart(["a"], {str(i): [1.0] for i in range(9)})
+
+
+class TestTimeline:
+    def test_phase_spans(self):
+        out = timeline([("lost work", 30.0), ("rollback", 70.0)],
+                       width=10)
+        bar = out.splitlines()[0]
+        assert bar.count("|") == 3
+        assert "lost work: 30" in out
+
+    def test_requires_positive_total(self):
+        with pytest.raises(ValueError):
+            timeline([("a", 0.0)])

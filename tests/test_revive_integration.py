@@ -1,0 +1,99 @@
+"""End-to-end integration scenarios tying several mechanisms together."""
+
+import pytest
+
+from conftest import ToyWorkload, build_tiny_machine, run_toy
+
+from repro.core.faults import NodeLossFault, TransientSystemFault
+from repro.core.recovery import RecoveryManager
+
+
+class TestSharingWritebackLogging:
+    def test_remote_read_of_dirty_line_logs_preimage(self):
+        """A 3-hop read forces a sharing write-back; the home must log
+        the checkpoint content before memory is overwritten."""
+        machine = build_tiny_machine()
+        space = machine.addr_space
+        addr = space.translate_line(1 << 32, 1)
+        home = machine.nodes[1]
+        # Seed checkpoint content through the ReVive path.
+        machine.revive.on_memory_write(1, addr, 1234, at=0,
+                                       category="ExeWB")
+        machine.revive.logs[1].gang_clear_logged()
+        # Node 0 dirties the line; node 2 then reads it.
+        machine.protocol.write(0, addr, at=1000, upgrade=False)
+        machine.nodes[0].hierarchy.write_value(addr, 5678)
+        machine.protocol.read(2, addr, at=2000)
+        assert home.memory.read_line(addr) == 5678
+        entries = machine.revive.logs[1].decode_region(home.memory.read_line)
+        assert any(e.addr == addr and e.value == 1234 for e in entries
+                   if e.is_data)
+        assert machine.revive.parity.check_all_parity() == []
+
+    def test_store_intent_logs_before_dirty_transfer(self):
+        """GETX on a remote-dirty line: memory is never written, but the
+        home already logged the checkpoint value at the first intent."""
+        machine = build_tiny_machine()
+        addr = machine.addr_space.translate_line(1 << 32, 1)
+        machine.revive.on_memory_write(1, addr, 77, at=0, category="ExeWB")
+        machine.revive.logs[1].gang_clear_logged()
+        machine.protocol.write(0, addr, at=1000, upgrade=False)
+        machine.nodes[0].hierarchy.write_value(addr, 88)
+        machine.protocol.write(2, addr, at=2000, upgrade=False)  # transfer
+        assert machine.nodes[1].memory.read_line(addr) == 77     # stale ok
+        log = machine.revive.logs[1]
+        assert log.is_logged(addr)
+
+
+class TestRepeatedRecovery:
+    def test_two_faults_in_one_run(self):
+        """Recover, resume bookkeeping, fault again, recover again."""
+        machine = build_tiny_machine()
+        machine.attach_workload(ToyWorkload(rounds=8, refs_per_round=1200))
+        coord = machine.checkpointing
+        horizon = 3 * coord.interval_ns
+        while coord.checkpoints_committed < 2 and not machine.all_finished:
+            machine.run(until=horizon)
+            horizon += coord.interval_ns
+        detect = machine.simulator.now
+        TransientSystemFault().apply(machine)
+        first = RecoveryManager(machine).recover(detect_time=detect)
+        assert machine.verify_against_snapshot(first.target_epoch) == []
+
+        # A second, node-loss fault against the rolled-back state.
+        NodeLossFault(2).apply(machine)
+        second = RecoveryManager(machine).recover(
+            detect_time=detect + first.unavailable_ns, lost_node=2)
+        assert second.target_epoch <= first.target_epoch
+        assert machine.verify_against_snapshot(second.target_epoch) == []
+        assert machine.revive.parity.check_all_parity() == []
+
+    def test_double_node_loss_is_rejected(self):
+        machine = run_toy(build_tiny_machine(), until=60_000)
+        NodeLossFault(0).apply(machine)
+        machine.processors[1].kill()
+        machine.nodes[1].memory.destroy()
+        with pytest.raises(RuntimeError, match="single-node"):
+            RecoveryManager(machine).recover(detect_time=60_000)
+
+
+class TestExecutionAfterRecovery:
+    def test_machine_accepts_new_transactions_after_rollback(self):
+        machine = build_tiny_machine()
+        machine.attach_workload(ToyWorkload(rounds=6, refs_per_round=1200))
+        coord = machine.checkpointing
+        horizon = 3 * coord.interval_ns
+        while coord.checkpoints_committed < 2 and not machine.all_finished:
+            machine.run(until=horizon)
+            horizon += coord.interval_ns
+        detect = machine.simulator.now
+        TransientSystemFault().apply(machine)
+        result = RecoveryManager(machine).recover(detect_time=detect,
+                                                  target_epoch=1)
+        # Post-recovery, the protocol serves fresh traffic correctly.
+        addr = machine.addr_space.translate_line((1 << 33) + 4096, 0)
+        done = machine.protocol.read(0, addr, result.resume_time)
+        assert done > result.resume_time
+        machine.protocol.write(2, addr, done + 100, upgrade=False)
+        machine.nodes[2].hierarchy.write_value(addr, 999)
+        assert machine.check_invariants() == []

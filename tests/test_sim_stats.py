@@ -1,0 +1,104 @@
+"""Unit tests for counters, histograms, and traffic breakdowns."""
+
+import pytest
+
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    StatsRegistry,
+    TrafficBreakdown,
+    TRAFFIC_CATEGORIES,
+)
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        c = Counter("x")
+        c.add()
+        c.add(5)
+        assert c.value == 6
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_bucket_width_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", 0)
+
+    def test_records_and_aggregates(self):
+        h = Histogram("h", 10)
+        for v in (0, 5, 10, 25, 25):
+            h.record(v)
+        assert h.count == 5
+        assert h.total == 65
+        assert h.mean == pytest.approx(13.0)
+        assert h.max_value == 25
+        assert h.buckets() == [(0, 2), (10, 1), (20, 2)]
+
+    def test_rejects_negative(self):
+        h = Histogram("h", 10)
+        with pytest.raises(ValueError):
+            h.record(-1)
+
+    def test_empty_mean(self):
+        assert Histogram("h", 10).mean == 0.0
+
+
+class TestTrafficBreakdown:
+    def test_categories_match_the_paper(self):
+        assert TRAFFIC_CATEGORIES == ("RD/RDX", "ExeWB", "CkpWB", "LOG",
+                                      "PAR")
+
+    def test_baseline_vs_revive_split(self):
+        t = TrafficBreakdown("net")
+        t.add("RD/RDX", 100)
+        t.add("ExeWB", 50)
+        t.add("CkpWB", 30)
+        t.add("LOG", 20)
+        t.add("PAR", 10)
+        assert t.total == 210
+        assert t.baseline_total == 150
+        assert t.revive_total == 60
+
+    def test_unknown_category_rejected(self):
+        t = TrafficBreakdown("net")
+        with pytest.raises(KeyError):
+            t.add("bogus", 1)
+
+    def test_merge(self):
+        a, b = TrafficBreakdown("a"), TrafficBreakdown("b")
+        a.add("PAR", 5)
+        b.add("PAR", 7)
+        b.add("LOG", 1)
+        merged = a.merged_with(b)
+        assert merged.bytes_by_category["PAR"] == 12
+        assert merged.bytes_by_category["LOG"] == 1
+
+    def test_reset(self):
+        t = TrafficBreakdown("net")
+        t.add("PAR", 5)
+        t.reset()
+        assert t.total == 0
+
+
+class TestStatsRegistry:
+    def test_counter_identity(self):
+        s = StatsRegistry()
+        assert s.counter("a") is s.counter("a")
+        s.counter("a").add(3)
+        assert s.value("a") == 3
+        assert s.value("missing") == 0
+
+    def test_log_size_tracking(self):
+        s = StatsRegistry()
+        s.sample_log_size(10, 100)
+        s.sample_log_size(20, 50)
+        assert s.max_log_bytes == 100
+        assert s.log_size_samples == [(10, 100), (20, 50)]
+
+    def test_snapshot_is_sorted_flat_dict(self):
+        s = StatsRegistry()
+        s.counter("b").add(2)
+        s.counter("a").add(1)
+        assert list(s.snapshot()) == ["a", "b"]

@@ -1,0 +1,66 @@
+"""Tests for trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import build_machine
+from repro.machine.config import MachineConfig
+from repro.workloads.registry import get_workload
+from repro.workloads.tracefile import TraceWorkload, record_trace
+
+
+@pytest.fixture
+def small_workload():
+    return get_workload("lu", scale=0.05, n_procs=4)
+
+
+class TestRoundtrip:
+    def test_record_and_replay_identical(self, small_workload, tmp_path):
+        path = str(tmp_path / "lu.npz")
+        stats = record_trace(small_workload, path)
+        assert stats["n_procs"] == 4
+        assert stats["total_refs"] > 0
+
+        replay = TraceWorkload(path)
+        assert replay.name == "lu"
+        assert replay.n_procs == 4
+        for proc in range(4):
+            original = list(small_workload.stream_for(proc))
+            replayed = list(replay.stream_for(proc))
+            assert len(original) == len(replayed)
+            for a, b in zip(original, replayed):
+                assert a[0] == b[0]
+                if a[0] == "ops":
+                    assert np.array_equal(np.asarray(a[2]),
+                                          np.asarray(b[2]))
+                    assert np.array_equal(np.asarray(a[1]),
+                                          np.asarray(b[1]))
+                    assert np.array_equal(np.asarray(a[3]),
+                                          np.asarray(b[3]))
+
+    def test_replay_drives_the_machine_identically(self, small_workload,
+                                                   tmp_path):
+        path = str(tmp_path / "lu.npz")
+        record_trace(small_workload, path)
+
+        cfg = MachineConfig.tiny(4)
+        m1 = build_machine("baseline", machine_config=cfg)
+        m1.attach_workload(get_workload("lu", scale=0.05, n_procs=4))
+        m1.run()
+        m2 = build_machine("baseline", machine_config=cfg)
+        m2.attach_workload(TraceWorkload(path))
+        m2.run()
+        assert m1.execution_time == m2.execution_time
+        assert m1.total_mem_refs() == m2.total_mem_refs()
+
+    def test_invalid_processor(self, small_workload, tmp_path):
+        path = str(tmp_path / "lu.npz")
+        record_trace(small_workload, path)
+        with pytest.raises(ValueError):
+            TraceWorkload(path).stream_for(9)
+
+    def test_total_refs_hint(self, small_workload, tmp_path):
+        path = str(tmp_path / "lu.npz")
+        stats = record_trace(small_workload, path)
+        assert TraceWorkload(path).total_refs_hint() \
+            == stats["total_refs"]

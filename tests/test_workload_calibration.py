@@ -1,0 +1,63 @@
+"""Calibration pins for the Splash-2 analogs (Table 4).
+
+Runs every analog (at reduced length) on the bench machine and asserts
+the miss-rate structure that the reproduction depends on: the
+L2-overflowing trio far above everyone, the compute-bound codes at the
+bottom, and each analog inside a generous band around its steady-state
+calibrated value — wide enough to absorb the shorter runs' noise, tight
+enough to catch a regression in the cache, coherence, or generator
+code.
+"""
+
+import pytest
+
+from repro.harness.runner import run_app
+from repro.workloads.registry import APP_NAMES
+
+SCALE = 0.4
+
+#: (lower, upper) bounds in percent at SCALE=0.4 — centred on the
+#: full-length calibrated values with ~2x slack.
+BANDS = {
+    "barnes": (0.01, 0.4),
+    "cholesky": (0.08, 1.2),
+    "fft": (0.7, 3.6),
+    "fmm": (0.05, 0.8),
+    "lu": (0.005, 0.25),
+    "ocean": (1.0, 4.8),
+    "radiosity": (0.1, 1.3),
+    "radix": (1.2, 5.5),
+    "raytrace": (0.12, 1.5),
+    "volrend": (0.12, 1.6),
+    "water-n2": (0.003, 0.15),
+    "water-sp": (0.003, 0.15),
+}
+
+HIGH = ("fft", "ocean", "radix")
+
+
+@pytest.fixture(scope="module")
+def miss_rates():
+    return {app: 100.0 * run_app(app, "baseline", scale=SCALE).l2_miss_rate
+            for app in APP_NAMES}
+
+
+def test_all_apps_inside_their_bands(miss_rates):
+    out_of_band = {
+        app: (rate, BANDS[app])
+        for app, rate in miss_rates.items()
+        if not BANDS[app][0] <= rate <= BANDS[app][1]
+    }
+    assert not out_of_band, out_of_band
+
+
+def test_l2_overflow_trio_dominates(miss_rates):
+    low = max(rate for app, rate in miss_rates.items() if app not in HIGH)
+    high = min(miss_rates[app] for app in HIGH)
+    assert high > 1.5 * low
+
+
+def test_waters_are_the_floor(miss_rates):
+    floor = min(miss_rates.values())
+    assert miss_rates["water-n2"] <= 3 * floor
+    assert miss_rates["water-sp"] <= 3 * floor

@@ -1,0 +1,96 @@
+"""Unit tests for the access-pattern building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import patterns
+
+
+RNG = np.random.default_rng(7)
+
+
+class TestStridedSweep:
+    def test_walks_linearly_and_wraps(self):
+        addrs = patterns.strided_sweep(base=1000 * 64, n_lines=4, count=6)
+        lines = (addrs - 1000 * 64) // 64
+        assert lines.tolist() == [0, 1, 2, 3, 0, 1]
+
+    def test_start_line_offsets(self):
+        addrs = patterns.strided_sweep(0, 8, 3, start_line=6)
+        assert (addrs // 64).tolist() == [6, 7, 0]
+
+    def test_stride(self):
+        addrs = patterns.strided_sweep(0, 8, 4, stride_lines=2)
+        assert (addrs // 64).tolist() == [0, 2, 4, 6]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            patterns.strided_sweep(0, 0, 5)
+
+
+class TestRandomAndZipf:
+    def test_random_lines_in_range(self):
+        addrs = patterns.random_lines(RNG, base=4096, n_lines=16,
+                                      count=1000)
+        assert addrs.min() >= 4096
+        assert addrs.max() < 4096 + 16 * 64
+        assert (addrs % 64 == 0).all()
+
+    def test_zipf_concentrates_on_low_lines(self):
+        addrs = patterns.zipf_lines(RNG, base=0, n_lines=1024, count=20_000)
+        lines = addrs // 64
+        low_share = (lines < 64).mean()
+        assert low_share > 0.5         # heavy head
+
+    def test_zipf_covers_tail(self):
+        addrs = patterns.zipf_lines(RNG, base=0, n_lines=1024, count=20_000)
+        assert (addrs // 64).max() > 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            patterns.random_lines(RNG, 0, 0, 5)
+        with pytest.raises(ValueError):
+            patterns.zipf_lines(RNG, 0, -1, 5)
+
+    def test_hot_lines(self):
+        addrs = patterns.hot_lines(RNG, base=0, n_hot=4, count=100)
+        assert set(addrs // 64) <= {0, 1, 2, 3}
+
+
+class TestInterleave:
+    def test_preserves_order_within_parts(self):
+        a = np.arange(10, dtype=np.int64) * 64
+        b = (np.arange(5, dtype=np.int64) + 100) * 64
+        out = patterns.interleave(np.random.default_rng(0), [a, b], [1, 1])
+        assert len(out) == 15
+        a_positions = [v for v in out if v < 100 * 64]
+        assert a_positions == sorted(a_positions)
+
+    def test_empty_parts(self):
+        out = patterns.interleave(RNG, [], [])
+        assert len(out) == 0
+
+    def test_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            patterns.interleave(RNG, [np.arange(3)], [1, 2])
+
+
+class TestMasksAndGaps:
+    def test_write_mask_fraction(self):
+        mask = patterns.write_mask(np.random.default_rng(0), 100_000, 0.3)
+        assert abs(mask.mean() - 0.3) < 0.01
+
+    def test_write_mask_validation(self):
+        with pytest.raises(ValueError):
+            patterns.write_mask(RNG, 10, 1.5)
+
+    def test_constant_gaps(self):
+        gaps = patterns.constant_gaps(5, 3)
+        assert gaps.tolist() == [3, 3, 3, 3, 3]
+
+    def test_bursty_gaps(self):
+        gaps = patterns.bursty_gaps(np.random.default_rng(0), 10_000, 2,
+                                    burst_every=10, burst_ns=100)
+        assert gaps.min() == 2
+        assert gaps.max() == 102
+        assert (gaps == 102).mean() == pytest.approx(0.1, abs=0.02)

@@ -1,0 +1,72 @@
+"""Unit tests for the Splash-2 analog registry."""
+
+import pytest
+
+from repro.workloads.registry import APP_NAMES, get_workload, paper_reference
+from repro.workloads.splash2 import PAPER_TABLE4, SPLASH2_SPECS
+
+
+class TestRegistry:
+    def test_twelve_applications(self):
+        assert len(APP_NAMES) == 12
+        assert set(APP_NAMES) == set(PAPER_TABLE4)
+        assert set(APP_NAMES) == set(SPLASH2_SPECS)
+
+    def test_lookup(self):
+        w = get_workload("radix")
+        assert w.name == "radix"
+        assert w.n_procs == 16
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_workload("quake")
+        with pytest.raises(KeyError):
+            paper_reference("quake")
+
+    def test_scale(self):
+        base = get_workload("lu")
+        scaled = get_workload("lu", scale=0.5)
+        assert scaled.spec.refs_per_proc \
+            == pytest.approx(base.spec.refs_per_proc * 0.5, abs=1)
+
+    def test_n_procs_override(self):
+        w = get_workload("fft", n_procs=4)
+        assert w.n_procs == 4
+        # Streams still generate for every processor.
+        assert next(iter(w.stream_for(3)))[0] == "ops"
+
+    def test_paper_reference_is_a_copy(self):
+        ref = paper_reference("ocean")
+        ref["l2_miss_pct"] = 0.0
+        assert paper_reference("ocean")["l2_miss_pct"] == 2.02
+
+
+class TestSpecShapes:
+    def test_run_lengths_track_instruction_counts(self):
+        refs = {name: spec.refs_per_proc
+                for name, spec in SPLASH2_SPECS.items()}
+        instr = {name: ref["instructions_M"]
+                 for name, ref in PAPER_TABLE4.items()}
+        # Longer paper runs -> longer analog runs (exact ordering).
+        by_refs = sorted(refs, key=refs.get)
+        by_instr = sorted(instr, key=instr.get)
+        assert by_refs == by_instr
+
+    def test_l2_overflow_trio_has_big_footprints(self):
+        for app in ("fft", "ocean", "radix"):
+            spec = SPLASH2_SPECS[app]
+            # Transpose visits a different shard each phase, so its
+            # effective footprint spans the whole shared region.
+            shared = (spec.shared_lines if spec.sharing == "transpose"
+                      else spec.shared_lines // 16)
+            footprint = spec.stream_lines + shared
+            assert footprint * 64 > 32 * 1024, app   # exceeds bench L2
+
+    def test_waters_are_compute_bound(self):
+        for app in ("water-n2", "water-sp"):
+            spec = SPLASH2_SPECS[app]
+            assert spec.stream_lines == 0
+            assert spec.burst_every > 0
+
+    def test_every_spec_uses_16_processors(self):
+        assert all(s.n_procs == 16 for s in SPLASH2_SPECS.values())

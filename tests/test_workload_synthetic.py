@@ -1,0 +1,162 @@
+"""Unit tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import SHARED_BASE, private_base
+from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
+
+
+def make_spec(**overrides):
+    defaults = dict(name="t", n_procs=4, refs_per_proc=4000, phases=2,
+                    hot_lines=32, shared_lines=64, shared_fraction=0.2,
+                    seed=3)
+    defaults.update(overrides)
+    return SyntheticSpec(**defaults)
+
+
+def drain(workload, proc_id):
+    """Consume a stream into (ops_chunks, n_barriers, markers)."""
+    ops, barriers, markers = [], 0, 0
+    for chunk in workload.stream_for(proc_id):
+        if chunk[0] == "ops":
+            ops.append(chunk)
+        elif chunk[0] == "barrier":
+            barriers += 1
+        elif chunk[0] == "warmup_done":
+            markers += 1
+    return ops, barriers, markers
+
+
+class TestSpecValidation:
+    def test_unknown_sharing(self):
+        with pytest.raises(ValueError):
+            make_spec(sharing="bogus")
+
+    def test_unknown_stream_mode(self):
+        with pytest.raises(ValueError):
+            make_spec(stream_mode="bogus")
+
+    def test_fraction_overflow(self):
+        with pytest.raises(ValueError):
+            make_spec(stream_fraction=0.8, shared_fraction=0.5)
+
+    def test_needs_refs(self):
+        with pytest.raises(ValueError):
+            make_spec(refs_per_proc=1, phases=4)
+
+    def test_scaled(self):
+        spec = make_spec()
+        assert spec.scaled(2.0).refs_per_proc == 8000
+        with pytest.raises(ValueError):
+            spec.scaled(0)
+
+
+class TestStreamStructure:
+    def test_barrier_counts_match_across_processors(self):
+        w = SyntheticWorkload(make_spec())
+        counts = {drain(w, p)[1] for p in range(4)}
+        assert len(counts) == 1
+        assert counts.pop() == 1 + 2    # warmup barrier + one per phase
+
+    def test_warmup_marker_emitted_once(self):
+        w = SyntheticWorkload(make_spec())
+        assert drain(w, 0)[2] == 1
+
+    def test_reference_counts(self):
+        spec = make_spec()
+        w = SyntheticWorkload(spec)
+        ops, _b, _m = drain(w, 1)
+        total = sum(len(c[1]) for c in ops)
+        # Warmup: hot set + own shard, plus (uniform style) one read
+        # sweep of the whole shared region.
+        warmup = (spec.hot_lines + spec.shared_lines // spec.n_procs
+                  + spec.shared_lines)
+        assert total == pytest.approx(warmup + spec.refs_per_proc, abs=8)
+
+    def test_chunks_are_parallel_arrays(self):
+        w = SyntheticWorkload(make_spec())
+        for chunk in w.stream_for(0):
+            if chunk[0] != "ops":
+                continue
+            _tag, gaps, addrs, writes = chunk
+            assert len(gaps) == len(addrs) == len(writes)
+            assert (np.asarray(gaps) >= 1).all()
+
+    def test_invalid_proc_id(self):
+        w = SyntheticWorkload(make_spec())
+        with pytest.raises(ValueError):
+            w.stream_for(9)
+
+    def test_deterministic_per_seed(self):
+        a = SyntheticWorkload(make_spec(seed=5))
+        b = SyntheticWorkload(make_spec(seed=5))
+        chunk_a = next(iter(a.stream_for(0)))
+        chunk_b = next(iter(b.stream_for(0)))
+        assert (chunk_a[2] == chunk_b[2]).all()
+
+    def test_different_procs_different_streams(self):
+        w = SyntheticWorkload(make_spec())
+        a = next(iter(w.stream_for(0)))[2]
+        b = next(iter(w.stream_for(1)))[2]
+        assert not np.array_equal(a, b)
+
+
+class TestAddressPopulations:
+    def collect_addrs(self, spec, proc_id=0):
+        w = SyntheticWorkload(spec)
+        return np.concatenate([c[2] for c in w.stream_for(proc_id)
+                               if c[0] == "ops"])
+
+    def test_private_addresses_disjoint_between_procs(self):
+        spec = make_spec(shared_fraction=0.0, hot_shared_fraction=0.0,
+                         shared_lines=0)
+        a = set(self.collect_addrs(spec, 0).tolist())
+        b = set(self.collect_addrs(spec, 1).tolist())
+        assert not (a & b)
+
+    def test_private_segment_bases(self):
+        spec = make_spec(shared_fraction=0.0, hot_shared_fraction=0.0,
+                         shared_lines=0)
+        addrs = self.collect_addrs(spec, 2)
+        assert (addrs >= private_base(2)).all()
+        assert (addrs < private_base(3)).all()
+
+    def test_shared_addresses_present(self):
+        addrs = self.collect_addrs(make_spec(shared_fraction=0.4))
+        assert (addrs >= SHARED_BASE).sum() > 0
+
+    def test_stream_region_present(self):
+        spec = make_spec(stream_lines=512, stream_fraction=0.3)
+        addrs = self.collect_addrs(spec)
+        stream_base = private_base(0) + spec.hot_lines * 64
+        in_stream = ((addrs >= stream_base)
+                     & (addrs < stream_base + 512 * 64))
+        assert in_stream.sum() > 0
+
+    @pytest.mark.parametrize("style", ["uniform", "neighbor", "transpose",
+                                       "migratory", "producer"])
+    def test_all_sharing_styles_generate(self, style):
+        spec = make_spec(sharing=style, shared_fraction=0.3)
+        addrs = self.collect_addrs(spec)
+        assert len(addrs) > 0
+        assert (addrs >= SHARED_BASE).sum() > 0
+
+    def test_transpose_reads_remote_writes_own(self):
+        spec = make_spec(sharing="transpose", shared_fraction=0.5,
+                         n_procs=4, shared_lines=64)
+        w = SyntheticWorkload(spec)
+        shard = 64 // 4
+        own_base = SHARED_BASE + (spec.hot_shared_lines + 0 * shard) * 64
+        own_end = own_base + shard * 64
+        writes_to_own = reads_from_remote = 0
+        chunks = [c for c in w.stream_for(0) if c[0] == "ops"]
+        for _tag, _gaps, addrs, writes in chunks[1:]:   # skip warmup
+            addrs = np.asarray(addrs)
+            writes = np.asarray(writes)
+            shared = addrs >= SHARED_BASE
+            own = shared & (addrs >= own_base) & (addrs < own_end)
+            writes_to_own += (own & writes).sum()
+            reads_from_remote += (shared & ~own & ~writes).sum()
+        assert writes_to_own > 0
+        assert reads_from_remote > 0
