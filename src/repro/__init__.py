@@ -29,11 +29,21 @@ Inject a fault and recover::
     NodeLossFault(3).apply(machine)
     result = RecoveryManager(machine).recover(detect_time=machine.simulator.now)
 
+Observe a run (docs/OBSERVABILITY.md)::
+
+    from repro import Tracer, Profiler
+    from repro.obs import JsonlFileSink
+
+    tracer = Tracer(sink=JsonlFileSink("trace.jsonl"))
+    machine = Machine(MachineConfig.tiny(4), ReViveConfig(...),
+                      tracer=tracer, profiler=Profiler())
+
 Subpackages: ``repro.sim`` (event kernel), ``repro.machine``,
 ``repro.cpu``, ``repro.cache``, ``repro.coherence``, ``repro.memory``,
 ``repro.network`` (the substrates), ``repro.core`` (the ReVive
-mechanisms), ``repro.workloads`` (Splash-2 analogs), and
-``repro.harness`` (experiment drivers for every table and figure).
+mechanisms), ``repro.workloads`` (Splash-2 analogs), ``repro.obs``
+(tracing, metrics, profiling), and ``repro.harness`` (experiment
+drivers for every table and figure).
 """
 
 from repro.machine.config import MachineConfig
@@ -53,6 +63,10 @@ __all__ = [
     "APP_NAMES",
     "run_app",
     "build_machine",
+    "Tracer",
+    "MetricsRegistry",
+    "Profiler",
+    "trace_enabled",
 ]
 
 _LAZY = {
@@ -66,6 +80,10 @@ _LAZY = {
     "APP_NAMES": ("repro.workloads.registry", "APP_NAMES"),
     "run_app": ("repro.harness.runner", "run_app"),
     "build_machine": ("repro.harness.runner", "build_machine"),
+    "Tracer": ("repro.obs.tracer", "Tracer"),
+    "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
+    "Profiler": ("repro.obs.profiling", "Profiler"),
+    "trace_enabled": ("repro.obs.tracer", "trace_enabled"),
 }
 
 

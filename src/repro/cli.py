@@ -6,11 +6,20 @@ Exposes the common workflows without writing Python::
     python -m repro run ocean --variant cp_parity
     python -m repro compare radix             # all five variants
     python -m repro recover lu --lost-node 3  # fault injection + recovery
+    python -m repro trace lu --out out.jsonl  # traced node-loss recovery
     python -m repro table3                    # machine configuration
 
-All commands accept ``--scale`` (run length multiplier) and
-``--interval-us`` (checkpoint interval).  Exit status is nonzero when a
-recovery verification fails, so the CLI is scriptable in CI.
+All commands accept ``--scale`` (run length multiplier),
+``--interval-us`` (checkpoint interval), and ``--nodes`` (shrink to a
+``MachineConfig.tiny(n)`` machine).  ``run`` and ``recover`` accept
+``--trace PATH`` (write the JSONL event trace documented in
+docs/OBSERVABILITY.md), ``--trace-categories`` (comma-separated
+filter), and ``--profile`` (wall-clock profile of the simulator
+itself).  ``trace`` is the full worked example: a traced run with a
+node-loss fault whose recovery breakdown is recomputed *from the
+trace* and checked against the live ``RecoveryResult``.  Exit status
+is nonzero when a recovery verification (or the trace cross-check)
+fails, so the CLI is scriptable in CI.
 """
 
 from __future__ import annotations
@@ -21,13 +30,27 @@ from typing import List, Optional
 
 from repro.core.faults import NodeLossFault, TransientSystemFault
 from repro.core.recovery import RecoveryManager
-from repro.harness.reporting import format_table
+from repro.harness.reporting import (
+    format_table,
+    profile_table,
+    trace_summary_table,
+)
 from repro.harness.runner import (
     DEFAULT_INTERVAL_NS,
     VARIANT_LABELS,
     VARIANTS,
     build_machine,
+    profile_summary,
     run_app,
+)
+from repro.machine.config import MachineConfig
+from repro.obs import (
+    CATEGORIES,
+    JsonlFileSink,
+    Profiler,
+    Tracer,
+    read_trace,
+    recovery_breakdown,
 )
 from repro.sim.stats import TRAFFIC_CATEGORIES
 from repro.workloads.registry import APP_NAMES, paper_reference
@@ -46,6 +69,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one workload on one variant")
     _common(run_p)
+    _observability(run_p)
     run_p.add_argument("--variant", choices=VARIANTS, default="cp_parity")
 
     cmp_p = sub.add_parser("compare",
@@ -55,19 +79,77 @@ def make_parser() -> argparse.ArgumentParser:
     rec_p = sub.add_parser("recover",
                            help="inject a fault and verify recovery")
     _common(rec_p)
+    _observability(rec_p)
     rec_p.add_argument("--lost-node", type=int, default=None,
                        help="node to lose permanently "
                             "(omit for a transient system-wide fault)")
+
+    trc_p = sub.add_parser(
+        "trace",
+        help="traced node-loss recovery on a tiny machine; the recovery "
+             "breakdown is recomputed from the JSONL trace and checked "
+             "against the live RecoveryResult (docs/OBSERVABILITY.md)")
+    _common(trc_p, default_scale=0.5,
+            default_interval_us=50.0, default_nodes=4)
+    _observability(trc_p)
+    trc_p.add_argument("--out", default="trace.jsonl",
+                       help="JSONL trace output path (default trace.jsonl); "
+                            "--trace overrides it")
+    trc_p.add_argument("--lost-node", type=int, default=1,
+                       help="node to lose permanently (default 1)")
     return parser
 
 
-def _common(parser: argparse.ArgumentParser) -> None:
+def _common(parser: argparse.ArgumentParser, default_scale: float = 1.0,
+            default_interval_us: float = DEFAULT_INTERVAL_NS / 1000,
+            default_nodes: Optional[int] = None) -> None:
     parser.add_argument("app", choices=APP_NAMES)
-    parser.add_argument("--scale", type=float, default=1.0,
-                        help="run-length multiplier (default 1.0)")
+    parser.add_argument("--scale", type=float, default=default_scale,
+                        help=f"run-length multiplier "
+                             f"(default {default_scale})")
     parser.add_argument("--interval-us", type=float,
-                        default=DEFAULT_INTERVAL_NS / 1000,
+                        default=default_interval_us,
                         help="checkpoint interval in microseconds")
+    parser.add_argument("--nodes", type=int, default=default_nodes,
+                        choices=(2, 4, 8, 16),
+                        help="use a MachineConfig.tiny(n) machine with one "
+                             "processor per node (default: the 16-node "
+                             "bench preset)")
+
+
+def _observability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSONL event trace to PATH "
+                             "(schema: docs/OBSERVABILITY.md)")
+    parser.add_argument("--trace-categories", metavar="CATS", default=None,
+                        help="comma-separated category filter, e.g. "
+                             "'ckpt,recovery' (default: all categories)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a wall-clock profile of the simulator")
+
+
+def _machine_setup(args):
+    """(machine_config, n_procs) implied by ``--nodes``."""
+    if args.nodes is None:
+        return None, 16
+    return MachineConfig.tiny(args.nodes), args.nodes
+
+
+def _make_tracer(args) -> Optional[Tracer]:
+    """Build the file tracer requested by ``--trace``, if any."""
+    path = getattr(args, "trace", None) or getattr(args, "out", None)
+    if path is None:
+        return None
+    categories = None
+    if args.trace_categories:
+        categories = [c.strip() for c in args.trace_categories.split(",")
+                      if c.strip()]
+        unknown = sorted(set(categories) - set(CATEGORIES))
+        if unknown:
+            raise SystemExit(
+                f"unknown trace categories {', '.join(unknown)}; "
+                f"choose from {', '.join(CATEGORIES)}")
+    return Tracer(JsonlFileSink(path), categories=categories)
 
 
 def cmd_list() -> int:
@@ -97,8 +179,14 @@ def cmd_table3() -> int:
 def cmd_run(args) -> int:
     """``repro run``: one workload on one variant."""
     interval = int(args.interval_us * 1000)
+    machine_config, n_procs = _machine_setup(args)
+    tracer = _make_tracer(args)
+    profiler = Profiler() if args.profile else None
     result = run_app(args.app, args.variant, scale=args.scale,
-                     interval_ns=interval)
+                     interval_ns=interval, machine_config=machine_config,
+                     n_procs=n_procs, tracer=tracer, profiler=profiler,
+                     **(_tiny_revive_overrides(args)
+                        if args.variant != "baseline" else {}))
     rows = [
         ["execution time (us)", f"{result.execution_time_ns / 1e3:.1f}"],
         ["references", result.total_refs],
@@ -112,17 +200,27 @@ def cmd_run(args) -> int:
     print(format_table(["Metric", "Value"], rows,
                        title=f"{args.app} on "
                              f"{VARIANT_LABELS[args.variant]}"))
+    if result.profile is not None:
+        print()
+        print(profile_table(result.profile))
+    if tracer is not None:
+        tracer.close()
+        print(f"\ntrace: {tracer.events_emitted} events -> {args.trace}")
     return 0
 
 
 def cmd_compare(args) -> int:
     """``repro compare``: all five variants, with overheads."""
     interval = int(args.interval_us * 1000)
-    base = run_app(args.app, "baseline", scale=args.scale)
+    machine_config, n_procs = _machine_setup(args)
+    base = run_app(args.app, "baseline", scale=args.scale,
+                   machine_config=machine_config, n_procs=n_procs)
     rows = [["Base", f"{base.execution_time_ns / 1e3:.1f}", "—"]]
     for variant in VARIANTS[1:]:
         result = run_app(args.app, variant, scale=args.scale,
-                         interval_ns=interval)
+                         interval_ns=interval,
+                         machine_config=machine_config, n_procs=n_procs,
+                         **_tiny_revive_overrides(args))
         rows.append([VARIANT_LABELS[variant],
                      f"{result.execution_time_ns / 1e3:.1f}",
                      f"{100 * result.overhead_vs(base):+.1f}%"])
@@ -135,11 +233,17 @@ def cmd_compare(args) -> int:
 def cmd_recover(args) -> int:
     """``repro recover``: fault injection + verified recovery."""
     interval = int(args.interval_us * 1000)
-    machine = build_machine("cp_parity", interval_ns=interval,
-                            debug_snapshots=True)
+    machine_config, n_procs = _machine_setup(args)
+    tracer = _make_tracer(args)
+    profiler = Profiler() if args.profile else None
+    machine = build_machine("cp_parity", machine_config=machine_config,
+                            interval_ns=interval, tracer=tracer,
+                            profiler=profiler, debug_snapshots=True,
+                            **_tiny_revive_overrides(args))
     from repro.workloads.registry import get_workload
 
-    machine.attach_workload(get_workload(args.app, scale=args.scale))
+    machine.attach_workload(get_workload(args.app, scale=args.scale,
+                                         n_procs=n_procs))
     horizon = 3 * interval
     while machine.checkpointing.checkpoints_committed < 2:
         if machine.all_finished:
@@ -170,11 +274,109 @@ def cmd_recover(args) -> int:
           f"{result.phase4_background_ns / 1e3:.0f}"]],
         title=f"{args.app}: recovery "
               f"({result.entries_undone} entries undone)"))
+    if profiler is not None:
+        print()
+        print(profile_table(profile_summary(profiler)))
+    if tracer is not None:
+        tracer.close()
+        print(f"trace: {tracer.events_emitted} events -> {args.trace}")
     if mismatches or broken:
         print(f"VERIFICATION FAILED: {len(mismatches)} mismatching lines, "
               f"{len(broken)} broken stripes", file=sys.stderr)
         return 1
     print("verification: memory bit-exact, parity consistent")
+    return 0
+
+
+def _tiny_revive_overrides(args) -> dict:
+    """ReVive overrides sized for a ``--nodes`` tiny machine.
+
+    The bench defaults (7+1 parity groups, a 2 MB log region) do not
+    fit a tiny node's 256 KB memory; shrink both proportionally.
+    """
+    if args.nodes is None:
+        return {}
+    return {"parity_group_size": min(7, args.nodes - 1),
+            "log_bytes_per_node": 64 * 1024}
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: the documented trace-a-recovery worked example.
+
+    Runs the workload on a tiny ``--nodes`` machine with tracing on,
+    lets two checkpoints commit, loses ``--lost-node``, recovers to
+    epoch 1, then *recomputes* the recovery phase breakdown from the
+    JSONL trace alone and cross-checks it against the live
+    ``RecoveryResult`` — the same procedure docs/OBSERVABILITY.md
+    walks through.  Exit status 1 on any mismatch.
+    """
+    interval = int(args.interval_us * 1000)
+    machine_config, n_procs = _machine_setup(args)
+    tracer = _make_tracer(args)
+    trace_path = args.trace or args.out
+    profiler = Profiler() if args.profile else None
+    machine = build_machine("cp_parity", machine_config=machine_config,
+                            interval_ns=interval, tracer=tracer,
+                            profiler=profiler, debug_snapshots=True,
+                            **_tiny_revive_overrides(args))
+    from repro.workloads.registry import get_workload
+
+    machine.attach_workload(get_workload(args.app, scale=args.scale,
+                                         n_procs=n_procs))
+    horizon = 3 * interval
+    while machine.checkpointing.checkpoints_committed < 2:
+        if machine.all_finished:
+            print("run too short for two checkpoints; raise --scale or "
+                  "lower --interval-us", file=sys.stderr)
+            return 2
+        machine.run(until=horizon)
+        horizon += interval
+    detect = machine.checkpointing.commit_times[2] + int(0.8 * interval)
+    machine.run(until=detect)
+
+    NodeLossFault(args.lost_node).apply(machine)
+    result = RecoveryManager(machine).recover(detect_time=detect,
+                                              lost_node=args.lost_node,
+                                              target_epoch=1)
+    mismatches = machine.verify_against_snapshot(result.target_epoch)
+    tracer.close()
+
+    events = read_trace(trace_path)
+    print(trace_summary_table(events))
+    print()
+
+    # The cross-check: Figure 12's components, once from the live
+    # RecoveryResult and once recomputed from the JSONL alone.
+    from_trace = recovery_breakdown(events)
+    live = dict(result.breakdown(),
+                background_repair=result.phase4_background_ns)
+    rows = []
+    all_match = True
+    for phase, live_ns in live.items():
+        traced_ns = from_trace.get(phase)
+        match = traced_ns == live_ns
+        all_match &= match
+        rows.append([phase, f"{live_ns / 1e3:.1f}",
+                     f"{traced_ns / 1e3:.1f}" if traced_ns is not None
+                     else "—", "ok" if match else "MISMATCH"])
+    print(format_table(
+        ["Phase", "RecoveryResult (us)", "From trace (us)", ""],
+        rows, title=f"{args.app}: recovery breakdown, live vs "
+                    f"recomputed from {trace_path}"))
+    if profiler is not None:
+        print()
+        print(profile_table(profile_summary(profiler)))
+    print(f"\ntrace: {tracer.events_emitted} events -> {trace_path}")
+    if mismatches:
+        print(f"VERIFICATION FAILED: {len(mismatches)} mismatching lines",
+              file=sys.stderr)
+        return 1
+    if not all_match:
+        print("TRACE MISMATCH: breakdown recomputed from the trace "
+              "disagrees with RecoveryResult", file=sys.stderr)
+        return 1
+    print("verification: memory bit-exact, trace breakdown matches "
+          "RecoveryResult")
     return 0
 
 
@@ -189,6 +391,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "compare":
         return cmd_compare(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     assert args.command == "recover"
     return cmd_recover(args)
 

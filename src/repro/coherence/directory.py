@@ -7,11 +7,20 @@ a real controller: a transaction arriving for a busy line waits until
 the line is free, which is how the protocol serialises racing requests
 and how ReVive keeps a line locked until its log entry and parity are
 safely committed (Section 4.1.1).
+
+Observability: a directory carries a ``tracer`` (``NULL_TRACER`` by
+default); :meth:`Directory.trace_transition` emits the ``coh.transition``
+event after each stable-state change and :meth:`Directory.clear_all`
+emits ``coh.clear`` when recovery wipes the directory.  The protocol
+engine guards each call with ``directory.tracer.enabled`` so untraced
+transitions cost one attribute read.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.obs.tracer import NULL_TRACER
 
 DIR_UNCACHED, DIR_SHARED, DIR_EXCLUSIVE = 0, 1, 2
 
@@ -58,6 +67,8 @@ class Directory:
     def __init__(self, node: int) -> None:
         self.node = node
         self._entries: Dict[int, DirEntry] = {}
+        #: Trace sink for ``coh.*`` events (``NULL_TRACER`` when off).
+        self.tracer = NULL_TRACER
 
     def entry(self, line_addr: int) -> DirEntry:
         """Get (or lazily create) the line's directory entry."""
@@ -75,8 +86,28 @@ class Directory:
         """Iterate over (line address, entry) pairs."""
         return iter(self._entries.items())
 
-    def clear_all(self) -> None:
-        """Reset every entry (recovery invalidates directory state)."""
+    def trace_transition(self, line_addr: int, entry: DirEntry,
+                         at: int) -> None:
+        """Emit the ``coh.transition`` event for a just-changed entry.
+
+        Called by the protocol engine after a stable-state change, with
+        ``at`` the simulated time the transition took effect.  Fields:
+        the home node, line address, new state (``U``/``S``/``E``),
+        owner (-1 unless EXCLUSIVE), and sharer count.
+        """
+        self.tracer.emit(at, "coh", "coh.transition", node=self.node,
+                         line=line_addr, state=_STATE_NAMES[entry.state],
+                         owner=entry.owner, sharers=len(entry.sharers))
+
+    def clear_all(self, at: int = 0) -> None:
+        """Reset every entry (recovery invalidates directory state).
+
+        Emits ``coh.clear`` with the number of entries dropped when
+        tracing is enabled.
+        """
+        if self.tracer.enabled:
+            self.tracer.emit(at, "coh", "coh.clear", node=self.node,
+                             entries=len(self._entries))
         self._entries.clear()
 
     def __len__(self) -> int:

@@ -107,6 +107,8 @@ class ProtocolEngine:
                 entry.state = DIR_SHARED
                 fill_state = SHARED
             entry.busy_until = max(entry.busy_until, mem_done)
+            if home.directory.tracer.enabled:
+                home.directory.trace_transition(line_addr, entry, done)
 
         self._fill(requester, line_addr, fill_state, value=0, at=done)
         return done
@@ -140,6 +142,9 @@ class ProtocolEngine:
                                           "RD/RDX")
             entry.busy_until = max(entry.busy_until, mem_done)
         entry.set_shared({owner_id, requester})
+        home = self._node(home_id)
+        if home.directory.tracer.enabled:
+            home.directory.trace_transition(line_addr, entry, done)
         return done
 
     # -- write miss (GETX) and upgrade -------------------------------------------
@@ -181,6 +186,8 @@ class ProtocolEngine:
 
         done = max(done, inv_done)
         entry.set_exclusive(requester)
+        if home.directory.tracer.enabled:
+            home.directory.trace_transition(line_addr, entry, done)
         if upgrade:
             self._promote(requester, line_addr)
         else:
@@ -254,6 +261,8 @@ class ProtocolEngine:
             entry, t = self._dir_accept(home, line_addr, at=t)
             if entry.state == DIR_EXCLUSIVE and entry.owner == src:
                 entry.set_uncached()
+                if home.directory.tracer.enabled:
+                    home.directory.trace_transition(line_addr, entry, t)
             return t
 
         self.stats.counter("txn.writeback").add()
@@ -264,6 +273,8 @@ class ProtocolEngine:
         entry.busy_until = max(entry.busy_until, busy)
         if not retain_clean and entry.state == DIR_EXCLUSIVE and entry.owner == src:
             entry.set_uncached()
+            if home.directory.tracer.enabled:
+                home.directory.trace_transition(line_addr, entry, ack_time)
         return ack_time
 
     def _commit_memory_write(self, home, line_addr: int, value: int, at: int,

@@ -11,6 +11,14 @@ window is reclaimed.
 The coordinator runs synchronously from the simulator's global hook:
 it advances every processor's local clock across the checkpoint and
 reports the commit time, and the machine rebuilds the event queue.
+
+Observability: each checkpoint emits the ``ckpt`` category events
+``ckpt.begin`` (interrupt delivery), ``ckpt.flush_done`` (all dirty
+lines written back), ``ckpt.barrier1`` (first two-phase-commit
+barrier passed, commit records being appended), and ``ckpt.commit``
+(second barrier passed, checkpoint established) through the machine's
+tracer; the per-node commit records themselves appear as ``log.append``
+events with ``commit=true``.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -53,8 +61,12 @@ class CheckpointCoordinator:
         config = machine.config
         stats = machine.stats
         protocol = machine.protocol
+        tracer = machine.tracer
 
         interrupt_at = trigger_time + config.interrupt_ns
+        if tracer.enabled:
+            tracer.emit(trigger_time, "ckpt", "ckpt.begin",
+                        epoch=self.checkpoints_committed + 1)
         flush_done = interrupt_at
         total_dirty = 0
         for node in machine.nodes:
@@ -83,8 +95,14 @@ class CheckpointCoordinator:
             if node_done > flush_done:
                 flush_done = node_done
 
+        if tracer.enabled:
+            tracer.emit(flush_done, "ckpt", "ckpt.flush_done",
+                        dirty_lines=total_dirty)
+
         # Two-phase commit: barrier; durable commit record; barrier.
         barrier1 = flush_done + config.barrier_ns
+        if tracer.enabled:
+            tracer.emit(barrier1, "ckpt", "ckpt.barrier1")
         marker_done = barrier1
         for node in machine.nodes:
             log = machine.revive.logs[node.node_id]
@@ -94,8 +112,12 @@ class CheckpointCoordinator:
                 marker_done = ack
         commit_time = marker_done + config.barrier_ns
 
-        machine.revive.on_checkpoint_committed()
+        machine.revive.on_checkpoint_committed(at=commit_time)
         self.commit_times.append(commit_time)
+        if tracer.enabled:
+            tracer.emit(commit_time, "ckpt", "ckpt.commit",
+                        epoch=self.checkpoints_committed,
+                        dur_ns=commit_time - trigger_time)
         if machine.io_manager is not None:
             # Output commit: everything buffered before this commit is
             # now covered by a recoverable checkpoint and may be

@@ -161,12 +161,16 @@ class ReViveController:
         return self._append_log_entry(node_id, line_addr=0, old_value=0,
                                       at=at, is_commit=True)
 
-    def on_checkpoint_committed(self) -> None:
-        """Gang-clear every L bit and reclaim stale log epochs."""
+    def on_checkpoint_committed(self, at: int = 0) -> None:
+        """Gang-clear every L bit and reclaim stale log epochs.
+
+        ``at`` is the checkpoint's commit time; it stamps the
+        ``log.reclaim`` trace events the reclamation emits.
+        """
         keep = self.machine.revive_config.keep_checkpoints
         for log in self.logs.values():
             log.gang_clear_logged()
-            log.reclaim(log.current_epoch - (keep - 1))
+            log.reclaim(log.current_epoch - (keep - 1), at=at)
 
     def max_log_bytes(self) -> int:
         """Largest per-run log footprint seen on any sample."""
@@ -219,7 +223,7 @@ class ReViveController:
         self.stats.memory_traffic.add("LOG", self.config.line_size)
         ack = self.parity.time_update(entry_line, t, sequential=True)
 
-        log.commit_append(line_addr, is_commit=is_commit)
+        log.commit_append(line_addr, is_commit=is_commit, at=t)
         ack = max(ack, self._maybe_flush_metadata(home_id, t, log))
         self.stats.sample_log_size(at, self.total_log_bytes())
         self._check_log_pressure(log)

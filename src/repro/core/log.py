@@ -22,12 +22,20 @@ Metadata word layout (bit 0 is the LSB)::
     bits 1-7    epoch mod 128
     bits 8-23   sequence number mod 65536 (insertion order, wrap-safe)
     bits 24-63  line address >> 6 (40 bits)
+
+Observability: a log carries a ``tracer`` (``NULL_TRACER`` by default,
+installed by ``Machine``); :meth:`MemoryLog.commit_append` emits the
+``log.append`` event for every record that lands (data and commit
+records alike) and :meth:`MemoryLog.reclaim` emits ``log.reclaim``
+when checkpoint commit frees slots.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.tracer import NULL_TRACER
 
 ENTRIES_PER_BLOCK = 8
 LINES_PER_BLOCK = ENTRIES_PER_BLOCK + 1
@@ -125,6 +133,8 @@ class MemoryLog:
         self.logged_lines: Dict[int, None] = {}
         self.max_bytes_used = 0
         self.appends = 0
+        #: Trace sink for ``log.*`` events (``NULL_TRACER`` when off).
+        self.tracer = NULL_TRACER
 
     # -- geometry -----------------------------------------------------------
 
@@ -205,8 +215,15 @@ class MemoryLog:
         writes.append((meta_line, new_meta))
         return writes
 
-    def commit_append(self, line_addr: int, is_commit: bool = False) -> None:
-        """Advance the head after the writes of :meth:`make_writes` landed."""
+    def commit_append(self, line_addr: int, is_commit: bool = False,
+                      at: int = 0) -> None:
+        """Advance the head after the writes of :meth:`make_writes` landed.
+
+        ``at`` is the simulated time of the append, used only for the
+        ``log.append`` trace event (node, slot, epoch, line address,
+        commit flag, live bytes).
+        """
+        slot = self.head
         self.head += 1
         self.appends += 1
         if not is_commit:
@@ -214,6 +231,11 @@ class MemoryLog:
         used = self.bytes_used
         if used > self.max_bytes_used:
             self.max_bytes_used = used
+        if self.tracer.enabled:
+            self.tracer.emit(at, "log", "log.append", node=self.node,
+                             slot=slot, epoch=self.current_epoch,
+                             line=(-1 if is_commit else line_addr),
+                             commit=is_commit, bytes_used=used)
 
     # -- epochs -----------------------------------------------------------------
 
@@ -223,18 +245,24 @@ class MemoryLog:
         self.epoch_start[self.current_epoch] = self.head
         return self.current_epoch
 
-    def reclaim(self, oldest_epoch_to_keep: int) -> int:
+    def reclaim(self, oldest_epoch_to_keep: int, at: int = 0) -> int:
         """Free slots of epochs older than ``oldest_epoch_to_keep``.
 
         Returns the number of slots reclaimed.  Only bookkeeping — the
         memory lines are simply overwritten later (log space reclamation
         "only involves moving the log head pointer", Section 3.3.1).
+        ``at`` (simulated ns) stamps the ``log.reclaim`` trace event.
         """
         new_tail = self.epoch_start.get(oldest_epoch_to_keep)
         if new_tail is None or new_tail <= self.tail:
             return 0
         reclaimed = new_tail - self.tail
         self.tail = new_tail
+        if self.tracer.enabled:
+            self.tracer.emit(at, "log", "log.reclaim", node=self.node,
+                             slots=reclaimed,
+                             oldest_epoch=oldest_epoch_to_keep,
+                             bytes_used=self.bytes_used)
         for epoch in [e for e in self.epoch_start
                       if e < oldest_epoch_to_keep]:
             del self.epoch_start[epoch]

@@ -24,6 +24,15 @@ phase durations come from a cost model over the machine's bandwidth
 parameters (reads are batched page-at-a-time across all surviving
 processors, so per-access resource walks would misrepresent the
 pipelining; see the cost helpers at the bottom).
+
+Observability: a traced recovery emits the ``recovery`` category
+events documented in docs/OBSERVABILITY.md — ``recovery.begin`` at
+the detection time, a ``recovery.phase_begin`` / ``recovery.phase_end``
+pair per phase (``hw_recovery``, ``log_rebuild``, ``rollback``,
+``background_repair``) whose timestamp difference *is* the phase
+duration, and ``recovery.end`` at the resume time.
+:func:`repro.obs.analysis.recovery_breakdown` reconstructs the
+Figure 12 components from these events alone.
 """
 
 from __future__ import annotations
@@ -93,6 +102,15 @@ class RecoveryManager:
         rolls back to the *second* most recent checkpoint.
         """
         machine = self.machine
+        profiler = getattr(machine, "profiler", None)
+        if profiler is None:
+            return self._recover(detect_time, lost_node, target_epoch)
+        with profiler.timer("recovery"):
+            return self._recover(detect_time, lost_node, target_epoch)
+
+    def _recover(self, detect_time: int, lost_node: Optional[int],
+                 target_epoch: Optional[int]) -> RecoveryResult:
+        machine = self.machine
         if lost_node is None:
             lost = [node.node_id for node in machine.nodes
                     if node.memory.lost]
@@ -102,12 +120,16 @@ class RecoveryManager:
                     f"ReVive's single-node fault model (Section 3.1.2)")
             if lost:
                 lost_node = lost[0]
+        tracer = machine.tracer
+        if tracer.enabled:
+            tracer.emit(detect_time, "recovery", "recovery.begin",
+                        lost_node=lost_node)
         phase1_ns = self.revive_config.hw_recovery_ns
 
         # Phase 1 side effects: wipe caches and directory state.
         for node in machine.nodes:
             node.hierarchy.clear()
-            node.directory.clear_all()
+            node.directory.clear_all(at=detect_time)
 
         # Phase 2 must precede commit-record inspection: the lost
         # node's log region is unreadable until rebuilt from parity.
@@ -165,7 +187,48 @@ class RecoveryManager:
             + result.phase2_ns + result.phase3_ns
         machine.stats.counter("recovery.count").add()
         machine.stats.counter("recovery.entries_undone").add(entries)
+        if tracer.enabled:
+            self._trace_phases(tracer, result)
         return result
+
+    @staticmethod
+    def _trace_phases(tracer, result: RecoveryResult) -> None:
+        """Emit the phase-boundary and end events for one recovery.
+
+        Each phase gets a ``recovery.phase_begin`` / ``phase_end``
+        pair whose ``ts`` difference equals the phase duration, so a
+        trace consumer can recompute the Figure 12 breakdown without
+        access to the :class:`RecoveryResult`.  Phase 4 runs in the
+        background starting at the resume time; the machine is
+        available during it.
+        """
+        cursor = result.detect_time
+        phases = [
+            ("hw_recovery", result.phase1_ns, {}),
+            ("log_rebuild", result.phase2_ns,
+             {"lines_rebuilt": result.log_lines_rebuilt}),
+            ("rollback", result.phase3_ns,
+             {"entries_undone": result.entries_undone,
+              "pages_rebuilt": result.pages_rebuilt_during_rollback}),
+        ]
+        for phase, dur, fields in phases:
+            tracer.emit(cursor, "recovery", "recovery.phase_begin",
+                        phase=phase)
+            cursor += dur
+            tracer.emit(cursor, "recovery", "recovery.phase_end",
+                        phase=phase, dur_ns=dur, **fields)
+        tracer.emit(result.resume_time, "recovery", "recovery.end",
+                    target_epoch=result.target_epoch,
+                    lost_work_ns=result.lost_work_ns,
+                    entries_undone=result.entries_undone,
+                    resume_time=result.resume_time)
+        tracer.emit(result.resume_time, "recovery", "recovery.phase_begin",
+                    phase="background_repair")
+        tracer.emit(result.resume_time + result.phase4_background_ns,
+                    "recovery", "recovery.phase_end",
+                    phase="background_repair",
+                    dur_ns=result.phase4_background_ns,
+                    pages_rebuilt=result.pages_rebuilt_background)
 
     # -- committed-epoch determination (two-phase commit evidence) -------------
 

@@ -115,6 +115,31 @@ def timeline(phases: Sequence, width: int = 60) -> str:
     return bar + "\n" + "\n".join(lines)
 
 
+def profile_table(profile: "dict") -> str:
+    """Render a wall-clock profile (``RunResult.profile``) as a table.
+
+    One row per simulator component (hottest first) plus the
+    activations-per-second summary the throughput guard tracks.
+    """
+    rows = [[name, f"{seconds:.3f}", calls]
+            for name, seconds, calls in profile["components"]]
+    rows.append(["engine activations / sec",
+                 f"{profile['events_per_sec']:,.0f}", ""])
+    return format_table(["Component", "Wall (s)", "Calls"], rows,
+                        title="Simulator wall-clock profile")
+
+
+def trace_summary_table(events: "list[dict]") -> str:
+    """Per-category event counts of a loaded trace (see ``read_trace``)."""
+    from repro.obs.analysis import category_counts
+
+    counts = category_counts(events)
+    rows = [[cat, n] for cat, n in counts.items()]
+    rows.append(["total", sum(counts.values())])
+    return format_table(["Category", "Events"], rows,
+                        title="Trace events by category")
+
+
 def _cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"

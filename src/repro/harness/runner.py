@@ -14,16 +14,31 @@ The bench preset checkpoints every ``DEFAULT_INTERVAL_NS`` (the third
 step of the scaling chain documented in DESIGN.md §2: the paper maps
 100 ms on real 2 MB caches to 10 ms on its simulated 128 KB caches; we
 map a further cache shrink onto a proportionally shorter interval).
+
+Observability hook points (see docs/OBSERVABILITY.md for the schema):
+
+* ``build_machine(..., tracer=, profiler=)`` threads a
+  :class:`~repro.obs.tracer.Tracer` and/or
+  :class:`~repro.obs.profiling.Profiler` into the assembled machine —
+  the tracer reaches every emitting component (``sim.*``, ``coh.*``,
+  ``log.*``, ``ckpt.*``, ``recovery.*`` events), the profiler times
+  the ``machine.run`` / ``checkpoint`` / ``recovery`` components.
+* ``run_app(..., tracer=, profiler=)`` does the same for a complete
+  run and, when profiling, fills ``RunResult.profile`` with the
+  wall-clock report rendered by
+  :func:`repro.harness.reporting.profile_table`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import ReViveConfig
 from repro.machine.config import MachineConfig
 from repro.machine.system import Machine
+from repro.obs.profiling import Profiler
+from repro.obs.tracer import Tracer
 from repro.workloads.registry import get_workload
 
 #: Checkpoint interval of the bench preset (simulated ns).
@@ -62,6 +77,10 @@ class RunResult:
     max_log_bytes: int
     instructions: float
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock profile when the run was profiled, else None:
+    #: ``{"components": [(name, seconds, calls), ...],
+    #:    "events_per_sec": float, "total_wall_seconds": float}``.
+    profile: Optional[Dict] = None
 
     def overhead_vs(self, baseline: "RunResult") -> float:
         """Fractional slowdown relative to a baseline run."""
@@ -87,15 +106,24 @@ def revive_config_for(variant: str,
 def build_machine(variant: str = "cp_parity",
                   machine_config: Optional[MachineConfig] = None,
                   interval_ns: int = DEFAULT_INTERVAL_NS,
+                  tracer: Optional[Tracer] = None,
+                  profiler: Optional[Profiler] = None,
                   **revive_overrides) -> Machine:
-    """Assemble a machine for one of the five evaluated variants."""
+    """Assemble a machine for one of the five evaluated variants.
+
+    ``tracer`` installs a trace sink into every instrumented component
+    (the machine emits ``ckpt.*``/``recovery.*``, its simulator
+    ``sim.*``, directories ``coh.*``, and logs ``log.*`` events);
+    ``profiler`` enables wall-clock profiling of the run loop.
+    """
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; "
                          f"choose from {VARIANTS}")
     config = machine_config or MachineConfig.bench()
     return Machine(config,
                    revive_config_for(variant, interval_ns,
-                                     **revive_overrides))
+                                     **revive_overrides),
+                   tracer=tracer, profiler=profiler)
 
 
 def run_app(app: str, variant: str = "baseline",
@@ -103,9 +131,17 @@ def run_app(app: str, variant: str = "baseline",
             scale: float = 1.0, n_procs: int = 16,
             interval_ns: int = DEFAULT_INTERVAL_NS,
             until: Optional[int] = None,
+            tracer: Optional[Tracer] = None,
+            profiler: Optional[Profiler] = None,
             **revive_overrides) -> RunResult:
-    """Run one application analog on one machine variant to completion."""
+    """Run one application analog on one machine variant to completion.
+
+    Pass ``tracer`` / ``profiler`` to observe the run; see
+    docs/OBSERVABILITY.md for the event schema and the profile shape
+    surfaced in ``RunResult.profile``.
+    """
     machine = build_machine(variant, machine_config, interval_ns,
+                            tracer=tracer, profiler=profiler,
                             **revive_overrides)
     workload = get_workload(app, scale=scale, n_procs=n_procs)
     machine.attach_workload(workload)
@@ -136,4 +172,17 @@ def collect_result(machine: Machine, app: str, variant: str) -> RunResult:
                        if machine.revive else 0),
         instructions=refs * ipr,
         counters=machine.stats.snapshot(),
+        profile=profile_summary(machine.profiler),
     )
+
+
+def profile_summary(profiler: Optional[Profiler]) -> Optional[Dict]:
+    """The ``RunResult.profile`` dict for a profiler (None when off)."""
+    if profiler is None:
+        return None
+    components: List[Tuple[str, float, int]] = profiler.report()
+    return {
+        "components": components,
+        "events_per_sec": profiler.events_per_sec,
+        "total_wall_seconds": profiler.total_wall_seconds,
+    }

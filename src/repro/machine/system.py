@@ -27,6 +27,8 @@ from repro.machine.config import MachineConfig
 from repro.machine.node import Node
 from repro.memory.layout import AddressSpace, HybridGeometry, ParityGeometry
 from repro.network.network import Network
+from repro.obs.profiling import Profiler
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatsRegistry
 
@@ -45,10 +47,17 @@ class Machine:
     """A CC-NUMA multiprocessor, optionally with ReVive."""
 
     def __init__(self, config: MachineConfig,
-                 revive_config: Optional[ReViveConfig] = None) -> None:
+                 revive_config: Optional[ReViveConfig] = None,
+                 tracer: Optional[Tracer] = None,
+                 profiler: Optional[Profiler] = None) -> None:
         self.config = config
         self.revive_config = revive_config
         self.stats = StatsRegistry()
+        #: Trace sink shared by every component (``NULL_TRACER`` when
+        #: tracing is off); install one later with :meth:`install_tracer`.
+        self.tracer = NULL_TRACER
+        #: Wall-clock profiler (None = profiling off, zero overhead).
+        self.profiler = profiler
         self.network = Network(config, self.stats)
         group_size = revive_config.parity_group_size if revive_config else 0
         if revive_config is not None and revive_config.mirrored_fraction:
@@ -104,6 +113,26 @@ class Machine:
             from repro.core.io import IOManager
 
             self.io_manager = IOManager(self)
+        if tracer is not None:
+            self.install_tracer(tracer)
+
+    def install_tracer(self, tracer: Tracer) -> None:
+        """Point every instrumented component at ``tracer``.
+
+        Propagates to the simulator (``sim.*`` events), each node's
+        directory (``coh.*``), and each ReVive log (``log.*``); the
+        machine's own ``tracer`` attribute serves the checkpoint and
+        recovery instrumentation (``ckpt.*`` / ``recovery.*``).  Call
+        any time before (or between) ``run()`` calls; pass
+        ``NULL_TRACER`` to detach.
+        """
+        self.tracer = tracer
+        self.simulator.tracer = tracer
+        for node in self.nodes:
+            node.directory.tracer = tracer
+        if self.revive is not None:
+            for log in self.revive.logs.values():
+                log.tracer = tracer
 
     # -- reserved regions -----------------------------------------------------
 
@@ -171,8 +200,18 @@ class Machine:
     # -- run loop -----------------------------------------------------------------
 
     def run(self, until: Optional[int] = None) -> int:
-        """Advance the simulation; returns the final simulated time."""
-        return self.simulator.run(until=until)
+        """Advance the simulation; returns the final simulated time.
+
+        With a profiler installed, the whole call is timed under the
+        ``machine.run`` component and the engine's cumulative
+        activation count is recorded for the events/sec figure.
+        """
+        if self.profiler is None:
+            return self.simulator.run(until=until)
+        with self.profiler.timer("machine.run"):
+            final = self.simulator.run(until=until)
+        self.profiler.note_events(self.simulator.activations)
+        return final
 
     def request_early_checkpoint(self) -> None:
         """Pull the next global checkpoint forward to *now*.
@@ -186,7 +225,11 @@ class Machine:
             self.simulator.expedite_hook(self.simulator.now)
 
     def _checkpoint_hook(self, trigger_time: int) -> int:
-        commit = self.checkpointing.run_checkpoint(trigger_time)
+        if self.profiler is None:
+            commit = self.checkpointing.run_checkpoint(trigger_time)
+        else:
+            with self.profiler.timer("checkpoint"):
+                commit = self.checkpointing.run_checkpoint(trigger_time)
 
         def reschedule(actor):
             """Hook-internal: new activation time for one actor."""

@@ -1,0 +1,57 @@
+"""Observability: structured tracing, metrics, and profiling.
+
+Three independent instruments over one simulation:
+
+* :class:`Tracer` — structured, timestamped JSONL events from
+  instrumentation points across the engine, coherence protocol, log,
+  checkpointing, and recovery.  Schema documented and versioned in
+  ``docs/OBSERVABILITY.md``; zero-cost when disabled.
+* :class:`MetricsRegistry` — counters/gauges/histograms; the legacy
+  :class:`repro.sim.stats.StatsRegistry` is a subclass, so every
+  historical counter lives here too.
+* :class:`Profiler` — wall-clock per simulator component and
+  activations per second, for the simulator's own performance.
+
+Quick start::
+
+    from repro.obs import Tracer, JsonlFileSink, recovery_breakdown
+    from repro.harness.runner import build_machine
+
+    tracer = Tracer(JsonlFileSink("out.jsonl"))
+    machine = build_machine("cp_parity", tracer=tracer)
+    ...
+    tracer.close()
+
+or, without writing Python: ``python -m repro trace lu --out out.jsonl``.
+"""
+
+from repro.obs.analysis import category_counts, read_trace, recovery_breakdown
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiling import Profiler
+from repro.obs.tracer import (
+    CATEGORIES,
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    JsonlFileSink,
+    RingBufferSink,
+    Tracer,
+    trace_enabled,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CATEGORIES",
+    "Tracer",
+    "NULL_TRACER",
+    "JsonlFileSink",
+    "RingBufferSink",
+    "trace_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "read_trace",
+    "category_counts",
+    "recovery_breakdown",
+]

@@ -1,0 +1,102 @@
+"""Reading traces back and recomputing paper exhibits from them.
+
+The JSONL trace is the ground truth these helpers consume — nothing
+here peeks at live simulator state.  :func:`recovery_breakdown`
+reconstructs the Figure 12 recovery-time components purely from
+``recovery.*`` phase-boundary events plus the ``ckpt.commit`` event of
+the recovery's target epoch, and is the function the worked example in
+``docs/OBSERVABILITY.md`` (and the acceptance test) checks against
+:class:`repro.core.recovery.RecoveryResult`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List
+
+
+def read_trace(path: str) -> List[Dict]:
+    """Load every event of a JSONL trace, following rotated segments.
+
+    A trace written through a rotating :class:`~repro.obs.tracer.
+    JsonlFileSink` spans ``path``, ``path.1``, ``path.2``, ...; all
+    segments are concatenated in order.  Events come back as plain
+    dicts, oldest first.
+    """
+    events: List[Dict] = []
+    segment = 0
+    current = path
+    while os.path.exists(current):
+        with open(current, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        segment += 1
+        current = f"{path}.{segment}"
+    if not events and not os.path.exists(path):
+        raise FileNotFoundError(path)
+    return events
+
+
+def category_counts(events: Iterable[Dict]) -> Dict[str, int]:
+    """Events per category — the first thing to look at in any trace."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        cat = event.get("cat", "?")
+        counts[cat] = counts.get(cat, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def recovery_breakdown(events: Iterable[Dict]) -> Dict[str, int]:
+    """Recompute the Figure 12 components from trace events alone.
+
+    Returns nanosecond durations keyed exactly like
+    ``RecoveryResult.breakdown()`` — ``lost_work``, ``hw_recovery``,
+    ``log_rebuild``, ``rollback`` — plus ``background_repair``
+    (Phase 4, which the paper reports separately because the machine
+    is available during it).
+
+    Phase durations are *recomputed* as the timestamp difference
+    between each phase's ``recovery.phase_begin`` / ``phase_end``
+    pair; lost work is the detection timestamp minus the ``ckpt.commit``
+    timestamp of the target epoch (epoch 0 is the initial state,
+    committed at time 0 and never traced).
+    """
+    events = list(events)
+    begin_ts: Dict[str, int] = {}
+    durations: Dict[str, int] = {}
+    detect_ts = None
+    target_epoch = None
+    commit_ts: Dict[int, int] = {0: 0}
+    for event in events:
+        name = event.get("name")
+        if name == "ckpt.commit":
+            commit_ts[event["epoch"]] = event["ts"]
+        elif name == "recovery.begin":
+            detect_ts = event["ts"]
+        elif name == "recovery.phase_begin":
+            begin_ts[event["phase"]] = event["ts"]
+        elif name == "recovery.phase_end":
+            phase = event["phase"]
+            if phase not in begin_ts:
+                raise ValueError(f"phase_end without phase_begin: {phase}")
+            durations[phase] = event["ts"] - begin_ts[phase]
+        elif name == "recovery.end":
+            target_epoch = event["target_epoch"]
+    if detect_ts is None or target_epoch is None:
+        raise ValueError("trace contains no complete recovery "
+                         "(recovery.begin .. recovery.end)")
+    if target_epoch not in commit_ts:
+        raise ValueError(
+            f"trace has no ckpt.commit event for target epoch "
+            f"{target_epoch} (was tracing enabled before the run?)")
+    breakdown = {
+        "lost_work": detect_ts - commit_ts[target_epoch],
+        "hw_recovery": durations.get("hw_recovery", 0),
+        "log_rebuild": durations.get("log_rebuild", 0),
+        "rollback": durations.get("rollback", 0),
+        "background_repair": durations.get("background_repair", 0),
+    }
+    return breakdown

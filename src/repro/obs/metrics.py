@@ -1,0 +1,241 @@
+"""Counters, gauges, and histograms behind one named registry.
+
+:class:`MetricsRegistry` is the single home for every scalar statistic
+a simulation produces.  The legacy :class:`repro.sim.stats.StatsRegistry`
+is now a subclass, so every counter the simulator has always kept
+(``txn.*``, ``revive.*``, ``ckpt.*``, ``recovery.*``) lives in this
+registry and is visible through both the legacy API
+(``stats.counter(name)`` / ``stats.snapshot()``) and the richer
+metrics API (gauges, histogram percentiles, ``full_snapshot()``).
+
+Metric names share one namespace: asking for an existing name with a
+different metric kind raises, which catches typo'd instrumentation at
+the call site instead of silently forking a metric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named, monotonically *addable* integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the counter/bucket by ``amount``/``nbytes``."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset to the freshly-constructed state."""
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A named last-value-wins measurement, tracking its maximum."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.max_value = 0
+
+    def set(self, value) -> None:
+        """Record the current level of the measured quantity."""
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def reset(self) -> None:
+        """Reset to the freshly-constructed state."""
+        self.value = 0
+        self.max_value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram over non-negative integers.
+
+    Samples land in buckets of ``bucket_width``; percentiles are
+    resolved to the lower edge of the bucket containing the requested
+    rank, so their error is bounded by one bucket width.
+    """
+
+    def __init__(self, name: str, bucket_width: int) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.name = name
+        self.bucket_width = bucket_width
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+
+    def record(self, value: int) -> None:
+        """Record one non-negative sample."""
+        if value < 0:
+            raise ValueError("Histogram records non-negative values only")
+        bucket = value // self.bucket_width
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded samples."""
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[int, int]]:
+        """Return sorted ``(bucket_start, count)`` pairs."""
+        return [(b * self.bucket_width, n)
+                for b, n in sorted(self._buckets.items())]
+
+    def percentile(self, p: float) -> float:
+        """Lower edge of the bucket holding the ``p``-th percentile.
+
+        ``p`` is in [0, 100].  Accurate to one ``bucket_width``; an
+        empty histogram reports 0.0.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(p / 100.0 * self.count))
+        cumulative = 0
+        for bucket, n in sorted(self._buckets.items()):
+            cumulative += n
+            if cumulative >= target:
+                return float(bucket * self.bucket_width)
+        return float(self.max_value)  # pragma: no cover - unreachable
+
+    def summary(self) -> Dict[str, float]:
+        """Count/mean/max plus the p50/p90/p99 quantiles."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max_value,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def reset(self) -> None:
+        """Reset to the freshly-constructed state."""
+        self._buckets.clear()
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one simulation run.
+
+    Accessors are get-or-create: ``registry.counter("txn.read_miss")``
+    returns the same :class:`Counter` on every call, so instrumentation
+    sites need no registration step.  The metrics catalog (every name,
+    its kind, and its units) is documented in ``docs/OBSERVABILITY.md``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create accessors -----------------------------------------
+
+    def _check_kind(self, name: str, want: str) -> None:
+        kinds = (("counter", self._counters), ("gauge", self._gauges),
+                 ("histogram", self._histograms))
+        for kind, table in kinds:
+            if kind != want and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            self._check_kind(name, "counter")
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._check_kind(name, "gauge")
+            gauge = Gauge(name)
+            self._gauges[name] = gauge
+        return gauge
+
+    def histogram(self, name: str, bucket_width: int = 1) -> Histogram:
+        """Get or create the histogram called ``name``.
+
+        ``bucket_width`` applies only on first creation; later callers
+        receive the existing histogram unchanged.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            self._check_kind(name, "histogram")
+            histogram = Histogram(name, bucket_width)
+            self._histograms[name] = histogram
+        return histogram
+
+    # -- legacy-compatible views -------------------------------------------
+
+    def counters(self) -> Iterable[Counter]:
+        """Iterate over all counters."""
+        return self._counters.values()
+
+    def gauges(self) -> Iterable[Gauge]:
+        """Iterate over all gauges."""
+        return self._gauges.values()
+
+    def histograms(self) -> Iterable[Histogram]:
+        """Iterate over all histograms."""
+        return self._histograms.values()
+
+    def value(self, name: str) -> int:
+        """Current value of a counter (0 when absent)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def gauge_value(self, name: str) -> Optional[int]:
+        """Current value of a gauge (None when absent)."""
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else None
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat dict of all counters — convenient for reporting and tests."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def full_snapshot(self) -> Dict[str, Dict]:
+        """Every metric, grouped by kind (counters/gauges/histograms)."""
+        return {
+            "counters": self.snapshot(),
+            "gauges": {name: {"value": g.value, "max": g.max_value}
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.summary()
+                           for name, h in sorted(self._histograms.items())},
+        }
+
+    def reset_all(self) -> None:
+        """Reset every registered metric in place (names survive)."""
+        for table in (self._counters, self._gauges, self._histograms):
+            for metric in table.values():
+                metric.reset()

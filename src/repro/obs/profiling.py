@@ -1,0 +1,70 @@
+"""Wall-clock profiling of the simulator itself.
+
+Distinct from the *simulated* statistics: a :class:`Profiler` measures
+how much real (host) time each simulator component consumes and how
+many engine activations are dispatched per wall-clock second — the
+number the throughput regression guard
+(``benchmarks/test_simulator_throughput.py``) tracks.
+
+Components opt in with ``profiler.timer("machine.run")`` context
+blocks; a machine with ``profiler=None`` (the default) pays a single
+``is None`` check per hook point.  The harness surfaces the report
+through :func:`repro.harness.reporting.profile_table` and the CLI's
+``--profile`` flag.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Tuple
+
+
+class Profiler:
+    """Accumulates wall-clock seconds per named component."""
+
+    def __init__(self) -> None:
+        self.wall_seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        #: Total engine activations dispatched (set by ``Machine.run``).
+        self.events = 0
+
+    @contextmanager
+    def timer(self, component: str):
+        """Time one entry into ``component`` (re-entrant, additive)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.wall_seconds[component] = (
+                self.wall_seconds.get(component, 0.0) + elapsed)
+            self.calls[component] = self.calls.get(component, 0) + 1
+
+    def note_events(self, total_activations: int) -> None:
+        """Record the cumulative engine activation count."""
+        self.events = total_activations
+
+    @property
+    def total_wall_seconds(self) -> float:
+        """Wall time of the outermost component (``machine.run``).
+
+        Falls back to the sum over components when the machine run
+        loop was never profiled (e.g. profiling only a recovery).
+        """
+        if "machine.run" in self.wall_seconds:
+            return self.wall_seconds["machine.run"]
+        return sum(self.wall_seconds.values())
+
+    @property
+    def events_per_sec(self) -> float:
+        """Engine activations dispatched per wall-clock second."""
+        wall = self.total_wall_seconds
+        return self.events / wall if wall > 0 else 0.0
+
+    def report(self) -> List[Tuple[str, float, int]]:
+        """Sorted ``(component, wall_seconds, calls)`` rows, hottest first."""
+        return sorted(
+            ((name, secs, self.calls.get(name, 0))
+             for name, secs in self.wall_seconds.items()),
+            key=lambda row: row[1], reverse=True)

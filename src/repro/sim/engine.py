@@ -7,12 +7,23 @@ activation, or ``None`` when the actor has finished.
 
 Times are integer nanoseconds.  The modelled core clock is 1 GHz, so one
 nanosecond is one cycle (Table 3 of the paper).
+
+Observability: the simulator counts every activation it dispatches
+(``activations``) and, when a :class:`~repro.obs.tracer.Tracer` is
+installed in ``tracer``, emits the ``sim`` category events documented
+in ``docs/OBSERVABILITY.md`` — ``sim.run_begin`` / ``sim.run_end``
+around each :meth:`Simulator.run` call, ``sim.hook_fire`` when the
+global hook triggers, and ``sim.actor_retire`` when an actor finishes.
+All emission sites are guarded by ``tracer.enabled`` so an untraced
+run pays one attribute read per event site.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Callable, Optional
+
+from repro.obs.tracer import NULL_TRACER
 
 
 class EventQueue:
@@ -76,6 +87,10 @@ class Simulator:
         self.now = 0
         self._hook: Optional[Callable[[int], Optional[int]]] = None
         self._hook_time: Optional[int] = None
+        #: Total actor activations dispatched over the simulator's life.
+        self.activations = 0
+        #: Trace sink for ``sim.*`` events (``NULL_TRACER`` when off).
+        self.tracer = NULL_TRACER
 
     def schedule(self, time: int, actor: Callable[[int], Optional[int]]) -> None:
         """Enqueue an actor's first activation."""
@@ -104,7 +119,16 @@ class Simulator:
 
         Returns the final simulated time (the largest activation time
         processed).
+
+        Trace events (category ``sim``): ``sim.run_begin`` and
+        ``sim.run_end`` bracketing this call, ``sim.hook_fire`` at
+        each global-hook trigger, and ``sim.actor_retire`` when an
+        actor returns ``None``.
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(self.now, "sim", "sim.run_begin", until=until,
+                        pending=len(self.queue))
         while self.queue:
             next_time = self.queue.peek_time()
             if (self._hook is not None and self._hook_time is not None
@@ -118,6 +142,8 @@ class Simulator:
                 if until is not None and self._hook_time > until:
                     break
                 self.now = max(self.now, self._hook_time)
+                if tracer.enabled:
+                    tracer.emit(self._hook_time, "sim", "sim.hook_fire")
                 self._hook_time = self._hook(self._hook_time)
                 continue
             if until is not None and next_time is not None \
@@ -125,9 +151,16 @@ class Simulator:
                 break
             time, actor = self.queue.pop()
             self.now = max(self.now, time)
+            self.activations += 1
             next_activation = actor(time)
             if next_activation is not None:
                 self.queue.push(next_activation, actor)
+            elif tracer.enabled:
+                tracer.emit(self.now, "sim", "sim.actor_retire",
+                            actor=getattr(actor, "proc_id", None))
+        if tracer.enabled:
+            tracer.emit(self.now, "sim", "sim.run_end",
+                        activations=self.activations)
         return self.now
 
     def drain_rebuild(self, reschedule: Callable[[Callable], Optional[int]]) -> None:

@@ -4,71 +4,28 @@ The paper's figures are built from a handful of aggregate statistics:
 execution time, network traffic by category (Fig. 9), memory traffic by
 category (Fig. 10), and log size over time (Fig. 11).  ``TrafficBreakdown``
 mirrors the figures' category split exactly.
+
+The scalar metrics (``Counter``, ``Histogram``) are the canonical
+implementations from :mod:`repro.obs.metrics`, re-exported here for
+backwards compatibility, and :class:`StatsRegistry` is a subclass of
+:class:`repro.obs.metrics.MetricsRegistry`: every counter the
+simulator keeps is a registry metric, so the legacy accessors
+(``counter``/``value``/``snapshot``) and the newer observability
+surface (gauges, histogram percentiles, ``full_snapshot``) always
+agree by construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["TRAFFIC_CATEGORIES", "Counter", "Gauge", "Histogram",
+           "TrafficBreakdown", "StatsRegistry"]
 
 #: Traffic categories used by Figures 9 and 10 of the paper.
 TRAFFIC_CATEGORIES = ("RD/RDX", "ExeWB", "CkpWB", "LOG", "PAR")
-
-
-class Counter:
-    """A named integer counter."""
-
-    __slots__ = ("name", "value")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.value = 0
-
-    def add(self, amount: int = 1) -> None:
-        """Increase the counter/bucket by ``amount``/``nbytes``."""
-        self.value += amount
-
-    def reset(self) -> None:
-        """Reset to the freshly-constructed state."""
-        self.value = 0
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Counter({self.name!r}, {self.value})"
-
-
-class Histogram:
-    """Fixed-bucket histogram over non-negative integers."""
-
-    def __init__(self, name: str, bucket_width: int) -> None:
-        if bucket_width <= 0:
-            raise ValueError("bucket_width must be positive")
-        self.name = name
-        self.bucket_width = bucket_width
-        self._buckets: Dict[int, int] = {}
-        self.count = 0
-        self.total = 0
-        self.max_value = 0
-
-    def record(self, value: int) -> None:
-        """Record one non-negative sample."""
-        if value < 0:
-            raise ValueError("Histogram records non-negative values only")
-        bucket = value // self.bucket_width
-        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
-        self.count += 1
-        self.total += value
-        if value > self.max_value:
-            self.max_value = value
-
-    @property
-    def mean(self) -> float:
-        """Arithmetic mean of recorded samples."""
-        return self.total / self.count if self.count else 0.0
-
-    def buckets(self) -> List[Tuple[int, int]]:
-        """Return sorted ``(bucket_start, count)`` pairs."""
-        return [(b * self.bucket_width, n)
-                for b, n in sorted(self._buckets.items())]
 
 
 class TrafficBreakdown:
@@ -124,39 +81,28 @@ class TrafficBreakdown:
             self.bytes_by_category[category] = 0
 
 
-class StatsRegistry:
-    """Owns every statistic collected during one simulation run."""
+class StatsRegistry(MetricsRegistry):
+    """Owns every statistic collected during one simulation run.
+
+    A :class:`~repro.obs.metrics.MetricsRegistry` extended with the
+    paper-specific aggregates: the two traffic breakdowns and the
+    Figure 11 log-size time series.  ``sample_log_size`` mirrors each
+    sample into the ``log.bytes`` gauge so registry consumers see the
+    log high-water mark without knowing about the legacy sample list.
+    """
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
+        super().__init__()
         self.network_traffic = TrafficBreakdown("network")
         self.memory_traffic = TrafficBreakdown("memory")
         self.log_size_samples: List[Tuple[int, int]] = []  # (time, bytes)
-        self.max_log_bytes = 0
 
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter called ``name``."""
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = Counter(name)
-            self._counters[name] = counter
-        return counter
-
-    def counters(self) -> Iterable[Counter]:
-        """Iterate over all counters."""
-        return self._counters.values()
-
-    def value(self, name: str) -> int:
-        """Current value of a counter (0 when absent)."""
-        counter = self._counters.get(name)
-        return counter.value if counter is not None else 0
+    @property
+    def max_log_bytes(self) -> int:
+        """Largest log size seen by any ``sample_log_size`` call."""
+        return self.gauge("log.bytes").max_value
 
     def sample_log_size(self, time: int, nbytes: int) -> None:
         """Record a (time, total log bytes) sample."""
         self.log_size_samples.append((time, nbytes))
-        if nbytes > self.max_log_bytes:
-            self.max_log_bytes = nbytes
-
-    def snapshot(self) -> Dict[str, int]:
-        """Flat dict of all counters — convenient for reporting and tests."""
-        return {name: c.value for name, c in sorted(self._counters.items())}
+        self.gauge("log.bytes").set(nbytes)

@@ -24,6 +24,21 @@ class TestParser:
                                          "--lost-node", "3"])
         assert args.lost_node == 3
 
+    def test_trace_defaults(self):
+        args = make_parser().parse_args(["trace", "lu"])
+        assert args.out == "trace.jsonl"
+        assert args.nodes == 4
+        assert args.lost_node == 1
+        assert args.trace is None
+
+    def test_observability_flags_on_run(self):
+        args = make_parser().parse_args(
+            ["run", "lu", "--trace", "t.jsonl",
+             "--trace-categories", "ckpt,recovery", "--profile"])
+        assert args.trace == "t.jsonl"
+        assert args.trace_categories == "ckpt,recovery"
+        assert args.profile
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -66,3 +81,31 @@ class TestCommands:
         rc = main(["recover", "lu", "--scale", "0.02",
                    "--interval-us", "100000"])
         assert rc == 2
+
+    def test_run_with_trace_and_profile(self, tmp_path, capsys):
+        out_path = str(tmp_path / "run.jsonl")
+        rc = main(["run", "lu", "--scale", "0.1", "--nodes", "4",
+                   "--trace", out_path, "--trace-categories", "ckpt",
+                   "--profile"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wall-clock profile" in out
+        assert f"-> {out_path}" in out
+        import json
+        events = [json.loads(line)
+                  for line in open(out_path, encoding="utf-8")]
+        assert events and all(e["cat"] == "ckpt" for e in events)
+
+    def test_unknown_trace_category_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown trace categories"):
+            main(["run", "lu", "--scale", "0.1", "--nodes", "4",
+                  "--trace", str(tmp_path / "x.jsonl"),
+                  "--trace-categories", "bogus"])
+
+    def test_trace_command_matches_recovery_result(self, tmp_path, capsys):
+        out_path = str(tmp_path / "trace.jsonl")
+        rc = main(["trace", "lu", "--out", out_path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace breakdown matches RecoveryResult" in out
+        assert "MISMATCH" not in out

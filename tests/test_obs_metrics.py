@@ -1,0 +1,163 @@
+"""Tests for repro.obs.metrics and its subsumption of sim.stats.
+
+The registry is the single home for every scalar statistic; the legacy
+``StatsRegistry`` is a subclass, so counters collected during a full
+``Machine.run()`` must be identical through the legacy accessors and
+the metrics API.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.sim.stats import StatsRegistry
+from tests.conftest import ToyWorkload, build_tiny_machine
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        counter = Counter("txn.read_miss")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_tracks_maximum(self):
+        gauge = Gauge("log.bytes")
+        gauge.set(100)
+        gauge.set(700)
+        gauge.set(300)
+        assert gauge.value == 300
+        assert gauge.max_value == 700
+        gauge.reset()
+        assert (gauge.value, gauge.max_value) == (0, 0)
+
+
+class TestHistogram:
+    def test_percentiles_land_on_bucket_lower_edges(self):
+        hist = Histogram("ckpt.dur", bucket_width=10)
+        for value in range(100):  # one sample per value 0..99
+            hist.record(value)
+        assert hist.percentile(0) == 0.0
+        assert hist.percentile(50) == 40.0   # 50th sample is value 49
+        assert hist.percentile(90) == 80.0
+        assert hist.percentile(99) == 90.0
+        assert hist.percentile(100) == 90.0  # lower edge of last bucket
+        assert hist.max_value == 99
+        assert hist.mean == pytest.approx(49.5)
+
+    def test_empty_and_single_sample(self):
+        hist = Histogram("x", bucket_width=5)
+        assert hist.percentile(50) == 0.0
+        assert hist.mean == 0.0
+        hist.record(13)
+        assert hist.percentile(1) == 10.0
+        assert hist.percentile(99) == 10.0
+
+    def test_summary_keys(self):
+        hist = Histogram("x", bucket_width=1)
+        hist.record(3)
+        summary = hist.summary()
+        assert set(summary) == {"count", "mean", "max", "p50", "p90", "p99"}
+        assert summary["count"] == 1 and summary["max"] == 3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bucket_width=0)
+        hist = Histogram("x", bucket_width=1)
+        with pytest.raises(ValueError):
+            hist.record(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h", 10) is registry.histogram("h")
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("metric")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("metric")
+
+    def test_snapshot_is_counters_only_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").add(2)
+        registry.counter("a").add(1)
+        registry.gauge("g").set(9)
+        assert registry.snapshot() == {"a": 1, "b": 2}
+        assert list(registry.snapshot()) == ["a", "b"]
+
+    def test_full_snapshot_groups_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        registry.gauge("g").set(5)
+        registry.histogram("h").record(2)
+        snap = registry.full_snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": {"value": 5, "max": 5}}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_all_keeps_names(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(3)
+        registry.gauge("g").set(3)
+        registry.histogram("h").record(3)
+        registry.reset_all()
+        assert registry.value("c") == 0
+        assert registry.gauge_value("g") == 0
+        assert registry.histogram("h").count == 0
+
+    def test_value_of_absent_counter_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0
+        assert MetricsRegistry().gauge_value("nope") is None
+
+
+class TestLegacyStatsSubsumption:
+    """StatsRegistry is a MetricsRegistry: both views must agree."""
+
+    def test_is_a_metrics_registry(self):
+        assert isinstance(StatsRegistry(), MetricsRegistry)
+
+    def test_counters_reconcile_after_full_run(self):
+        machine = build_tiny_machine()
+        machine.attach_workload(ToyWorkload())
+        machine.run()
+        stats = machine.stats
+        snapshot = stats.snapshot()
+        # The run exercised the protocol and ReVive paths.
+        assert snapshot["txn.read_miss"] > 0
+        assert snapshot["ckpt.count"] >= 1
+        # Legacy accessor, metrics accessor, and snapshots all agree.
+        for name, value in snapshot.items():
+            assert stats.value(name) == value
+            assert stats.counter(name).value == value
+        assert stats.full_snapshot()["counters"] == snapshot
+
+    def test_log_gauge_mirrors_max_log_bytes(self):
+        machine = build_tiny_machine()
+        machine.attach_workload(ToyWorkload())
+        machine.run()
+        stats = machine.stats
+        assert stats.max_log_bytes > 0
+        assert stats.gauge("log.bytes").max_value == stats.max_log_bytes
+        assert stats.max_log_bytes == max(
+            nbytes for _t, nbytes in stats.log_size_samples)
+
+    def test_sample_log_size_feeds_both_views(self):
+        stats = StatsRegistry()
+        stats.sample_log_size(10, 400)
+        stats.sample_log_size(20, 300)
+        assert stats.log_size_samples == [(10, 400), (20, 300)]
+        assert stats.gauge_value("log.bytes") == 300
+        assert stats.max_log_bytes == 400

@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.workloads",
     "repro.harness",
+    "repro.obs",
 ]
 
 
