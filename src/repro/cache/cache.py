@@ -45,6 +45,24 @@ def set_index(addr: int, line_size: int, n_sets: int) -> int:
     return (line_no % _PAGE_LINES) + _PAGE_LINES * group
 
 
+def index_params(line_size: int, n_sets: int):
+    """``(line_shift, n_sets, groups)`` for inlined set indexing.
+
+    ``groups`` is 0 when the cache is small enough for plain modulo
+    indexing.  ``line_shift`` is ``None`` for a non-power-of-two line
+    size (then callers must fall back to :func:`set_index`).  The
+    fast-path reference pipeline (``cpu.processor``) inlines
+    :func:`set_index` using these precomputed values; the two
+    formulations are kept equivalent by ``tests/test_cache.py``.
+    """
+    if line_size & (line_size - 1):
+        line_shift = None
+    else:
+        line_shift = line_size.bit_length() - 1
+    groups = n_sets // _PAGE_LINES if n_sets > _PAGE_LINES else 0
+    return line_shift, n_sets, groups
+
+
 class CacheLine:
     """One resident line: its address, MESI state and (if dirty) value."""
 
@@ -67,6 +85,9 @@ class CacheLine:
 class SetAssocCache:
     """A set-associative cache of :class:`CacheLine` records."""
 
+    __slots__ = ("name", "size", "assoc", "line_size", "n_sets", "_sets",
+                 "hits", "misses", "_line_shift", "_groups")
+
     def __init__(self, name: str, size: int, assoc: int,
                  line_size: int) -> None:
         n_sets = size // (assoc * line_size)
@@ -82,9 +103,31 @@ class SetAssocCache:
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(n_sets)]
         self.hits = 0
         self.misses = 0
+        self._line_shift, _, self._groups = index_params(line_size, n_sets)
+
+    def index_params(self):
+        """``(line_shift, n_sets, groups)`` for the inlined fast path."""
+        return self._line_shift, self.n_sets, self._groups
+
+    def raw_sets(self) -> List[Dict[int, CacheLine]]:
+        """The per-set dicts, for the inlined fast path.
+
+        The list identity is stable for the cache's lifetime (``clear``
+        empties the dicts in place), so callers may bind it once.
+        """
+        return self._sets
 
     def _set_of(self, addr: int) -> Dict[int, CacheLine]:
-        return self._sets[set_index(addr, self.line_size, self.n_sets)]
+        # set_index, inlined with the precomputed shift/groups.
+        shift = self._line_shift
+        if shift is None:
+            return self._sets[set_index(addr, self.line_size, self.n_sets)]
+        line_no = addr >> shift
+        groups = self._groups
+        if not groups:
+            return self._sets[line_no % self.n_sets]
+        group = (((line_no >> 6) * 2654435761) >> 12) % groups
+        return self._sets[(line_no & 63) + (group << 6)]
 
     def lookup(self, addr: int) -> Optional[CacheLine]:
         """Find the line and refresh its LRU position; counts hit/miss."""
@@ -162,6 +205,9 @@ class TagFilter:
     whether an access pays the 2 ns L1 latency or the 12 ns L2 latency.
     """
 
+    __slots__ = ("name", "assoc", "line_size", "n_sets", "_sets",
+                 "hits", "misses", "_line_shift", "_groups")
+
     def __init__(self, name: str, size: int, assoc: int,
                  line_size: int) -> None:
         n_sets = size // (assoc * line_size)
@@ -176,9 +222,26 @@ class TagFilter:
         self._sets: List[Dict[int, None]] = [dict() for _ in range(n_sets)]
         self.hits = 0
         self.misses = 0
+        self._line_shift, _, self._groups = index_params(line_size, n_sets)
+
+    def index_params(self):
+        """``(line_shift, n_sets, groups)`` for the inlined fast path."""
+        return self._line_shift, self.n_sets, self._groups
+
+    def raw_sets(self) -> List[Dict[int, None]]:
+        """The per-set dicts, for the inlined fast path (stable list)."""
+        return self._sets
 
     def _set_of(self, addr: int) -> Dict[int, None]:
-        return self._sets[set_index(addr, self.line_size, self.n_sets)]
+        shift = self._line_shift
+        if shift is None:
+            return self._sets[set_index(addr, self.line_size, self.n_sets)]
+        line_no = addr >> shift
+        groups = self._groups
+        if not groups:
+            return self._sets[line_no % self.n_sets]
+        group = (((line_no >> 6) * 2654435761) >> 12) % groups
+        return self._sets[(line_no & 63) + (group << 6)]
 
     def touch(self, addr: int) -> bool:
         """Record an access; returns True on hit."""

@@ -47,6 +47,8 @@ class AccessResult:
 class CacheHierarchy:
     """L1 tag filter + L2 state/value cache for one node."""
 
+    __slots__ = ("config", "node", "l1", "l2", "silent_upgrades")
+
     def __init__(self, config: MachineConfig, node: int) -> None:
         self.config = config
         self.node = node

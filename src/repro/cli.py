@@ -5,6 +5,7 @@ Exposes the common workflows without writing Python::
     python -m repro list                      # available workloads
     python -m repro run ocean --variant cp_parity
     python -m repro compare radix             # all five variants
+    python -m repro sweep lu fft --workers 4  # parallel app x variant sweep
     python -m repro recover lu --lost-node 3  # fault injection + recovery
     python -m repro trace lu --out out.jsonl  # traced node-loss recovery
     python -m repro table3                    # machine configuration
@@ -75,6 +76,34 @@ def make_parser() -> argparse.ArgumentParser:
     cmp_p = sub.add_parser("compare",
                            help="run all five variants and report overheads")
     _common(cmp_p)
+
+    swp_p = sub.add_parser(
+        "sweep",
+        help="run an app x variant sweep, fanning out over worker "
+             "processes (results are bit-identical to a serial sweep; "
+             "see docs/PERFORMANCE.md)")
+    swp_p.add_argument("apps", nargs="*", metavar="APP",
+                       help="applications to sweep (default: all twelve)")
+    swp_p.add_argument("--variants", default=None, metavar="V1,V2",
+                       help="comma-separated variants "
+                            f"(default: all of {','.join(VARIANTS)})")
+    swp_p.add_argument("--scale", type=float, default=1.0,
+                       help="run-length multiplier (default 1.0)")
+    swp_p.add_argument("--interval-us", type=float,
+                       default=DEFAULT_INTERVAL_NS / 1000,
+                       help="checkpoint interval in microseconds")
+    swp_p.add_argument("--nodes", type=int, default=None,
+                       choices=(2, 4, 8, 16),
+                       help="use a MachineConfig.tiny(n) machine")
+    swp_p.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: one per job, "
+                            "capped at the CPU count; 1 forces serial)")
+    swp_p.add_argument("--chunksize", type=int, default=1,
+                       help="jobs handed to a worker per dispatch")
+    swp_p.add_argument("--serial", action="store_true",
+                       help="run in-process without multiprocessing")
+    swp_p.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the full sweep results as JSON")
 
     rec_p = sub.add_parser("recover",
                            help="inject a fault and verify recovery")
@@ -227,6 +256,55 @@ def cmd_compare(args) -> int:
     print(format_table(["Variant", "Time (us)", "Overhead"], rows,
                        title=f"{args.app}: error-free execution "
                              f"(Figure 8 row)"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """``repro sweep``: app × variant fan-out with parallel workers."""
+    from repro.harness.parallel import run_sweep
+
+    for app in args.apps:
+        if app not in APP_NAMES:
+            raise SystemExit(f"unknown workload {app!r}; "
+                             f"choose from {', '.join(APP_NAMES)}")
+    variants = None
+    if args.variants:
+        variants = [v.strip() for v in args.variants.split(",") if v.strip()]
+    machine_config, n_procs = _machine_setup(args)
+    sweep = run_sweep(
+        args.apps or None, variants,
+        workers=args.workers, chunksize=args.chunksize, serial=args.serial,
+        scale=args.scale, n_procs=n_procs,
+        interval_ns=int(args.interval_us * 1000),
+        machine_config=machine_config, **_tiny_revive_overrides(args))
+
+    swept_variants = []
+    for _app, variant in sweep.job_order:
+        if variant not in swept_variants:
+            swept_variants.append(variant)
+    rows = []
+    for app in sweep.apps():
+        row = [app]
+        base = sweep.results.get((app, "baseline"))
+        for variant in swept_variants:
+            result = sweep.results[(app, variant)]
+            cell = f"{result.execution_time_ns / 1e3:.1f}us"
+            if base is not None and variant != "baseline":
+                cell += f" ({100 * result.overhead_vs(base):+.1f}%)"
+            row.append(cell)
+        rows.append(row)
+    mode = (f"{sweep.workers} workers" if sweep.parallel
+            else "serial")
+    print(format_table(
+        ["App"] + [VARIANT_LABELS[v] for v in swept_variants], rows,
+        title=f"sweep: {len(sweep.job_order)} runs in "
+              f"{sweep.wall_seconds:.1f}s ({mode})"))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(sweep.to_jsonable(), fh, indent=2)
+        print(f"\nresults: {args.json}")
     return 0
 
 
@@ -391,6 +469,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "compare":
         return cmd_compare(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
     if args.command == "trace":
         return cmd_trace(args)
     assert args.command == "recover"

@@ -64,6 +64,8 @@ class DirEntry:
 class Directory:
     """Lazily-populated map of line address -> :class:`DirEntry`."""
 
+    __slots__ = ("node", "_entries", "tracer")
+
     def __init__(self, node: int) -> None:
         self.node = node
         self._entries: Dict[int, DirEntry] = {}

@@ -52,7 +52,7 @@ class ProtocolEngine:
         return self.machine.nodes[node_id]
 
     def _home_of(self, line_addr: int) -> int:
-        return self.machine.addr_space.node_of(line_addr)
+        return self.machine.geom_cache.home_node(line_addr)
 
     def _dir_accept(self, home, line_addr: int, at: int):
         """Wait for the line to be free and claim a controller slot.

@@ -59,6 +59,8 @@ class LogOverflowError(RuntimeError):
 class LogEntry:
     """One decoded log record."""
 
+    __slots__ = ("addr", "epoch", "seq", "value", "is_commit")
+
     addr: int          # line-aligned physical address (commit records: -1)
     epoch: int         # epoch mod 128 as stored; resolved epoch if known
     seq: int           # sequence number mod 65536

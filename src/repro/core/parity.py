@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Tuple
 
+from repro.memory.geomcache import GeometryCache
 from repro.memory.layout import ParityGeometry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,33 +36,29 @@ class ParityEngine:
         self.config = machine.config
         self.stats = machine.stats
         self.updates = 0
+        # One geometry lookup per distinct line, ever: home node,
+        # parity line, parity home and mirroring are all memoized in
+        # the machine-owned cache (docs/PERFORMANCE.md).
+        self.geom = machine.geom_cache
 
     # -- address helpers ---------------------------------------------------
 
     def parity_line_of(self, line_addr: int) -> int:
         """Physical address of the parity line covering a data line."""
-        space = self.machine.addr_space
-        node = space.node_of(line_addr)
-        ppage = space.page_of(line_addr)
-        parity_node, parity_page = self.geometry.parity_location(node, ppage)
-        offset = line_addr % self.config.page_size
-        return space.page_base(parity_node, parity_page) + offset
+        parity_line = self.geom.entry(line_addr)[1]
+        if parity_line is None:
+            raise ValueError(
+                f"line {line_addr:#x} is itself parity; it has no "
+                f"covering parity line")
+        return parity_line
 
     def is_mirrored_line(self, line_addr: int) -> bool:
         """Does this line's stripe use mirroring (no read-modify-write)?"""
-        space = self.machine.addr_space
-        return self.geometry.is_mirrored_page(space.node_of(line_addr),
-                                              space.page_of(line_addr))
+        return self.geom.entry(line_addr)[3]
 
     def peer_lines_of(self, line_addr: int) -> List[int]:
         """The other stripe members (data + parity) of any line."""
-        space = self.machine.addr_space
-        node = space.node_of(line_addr)
-        ppage = space.page_of(line_addr)
-        offset = line_addr % self.config.page_size
-        return [space.page_base(n, p) + offset
-                for n, p in self.geometry.stripe_of(node, ppage)
-                if n != node]
+        return list(self.geom.peers(line_addr))
 
     # -- error-free operation ------------------------------------------------
 
@@ -74,10 +71,13 @@ class ParityEngine:
         the directory controller can write-combine metadata-line parity
         while keeping contents exact.
         """
-        space = self.machine.addr_space
-        parity_line = self.parity_line_of(line_addr)
-        parity_node = self.machine.nodes[space.node_of(parity_line)]
-        if self.is_mirrored_line(line_addr):
+        _home, parity_line, parity_home, mirrored = self.geom.entry(line_addr)
+        if parity_line is None:
+            raise ValueError(
+                f"line {line_addr:#x} is itself parity; it has no "
+                f"covering parity line")
+        parity_node = self.machine.nodes[parity_home]
+        if mirrored:
             parity_node.memory.write_line(parity_line, new_value)
         else:
             old_parity = parity_node.memory.read_line(parity_line)
@@ -94,15 +94,17 @@ class ParityEngine:
         ``sequential`` marks log-region updates, whose parity is
         accessed in order and hits open DRAM rows.
         """
-        space = self.machine.addr_space
         network = self.machine.network
-        home_id = space.node_of(line_addr)
-        parity_line = self.parity_line_of(line_addr)
-        parity_home = space.node_of(parity_line)
+        home_id, parity_line, parity_home, mirrored = \
+            self.geom.entry(line_addr)
+        if parity_line is None:
+            raise ValueError(
+                f"line {line_addr:#x} is itself parity; it has no "
+                f"covering parity line")
         parity_node = self.machine.nodes[parity_home]
 
         arrive = network.send_line(home_id, parity_home, at, "PAR")
-        if self.is_mirrored_line(line_addr):
+        if mirrored:
             done = parity_node.mem_timing.access(arrive, row_hit=sequential)
             self.stats.memory_traffic.add("PAR", self.config.line_size)
         else:
@@ -131,18 +133,17 @@ class ParityEngine:
         Purely functional; recovery charges timing separately because
         reconstruction is batched page-at-a-time.
         """
-        space = self.machine.addr_space
+        nodes = self.machine.nodes
+        home_node = self.geom.home_node
         value = 0
-        for peer in self.peer_lines_of(line_addr):
-            peer_node = self.machine.nodes[space.node_of(peer)]
-            value ^= peer_node.memory.read_line(peer)
+        for peer in self.geom.peers(line_addr):
+            value ^= nodes[home_node(peer)].memory.read_line(peer)
         return value
 
     def recompute_parity_line(self, parity_line: int) -> int:
         """Recompute a parity line from its data members (stripe repair)."""
         space = self.machine.addr_space
-        node = space.node_of(parity_line)
-        ppage = space.page_of(parity_line)
+        node, ppage = space.node_page_of(parity_line)
         offset = parity_line % self.config.page_size
         value = 0
         for data_node, data_page in self.geometry.stripe_data_pages(node,

@@ -272,6 +272,9 @@ class RecoveryManager:
         for line_addr in machine.log_region_lines(lost_node):
             memory.restore_line(line_addr, parity.reconstruct_line(line_addr))
         memory.mark_recovered()
+        # The stripe map memoized before the fault must not survive the
+        # node's reincarnation: re-derive all geometry from scratch.
+        machine.geom_cache.invalidate()
         log = machine.revive.logs[lost_node]
         meta_lines = log.n_blocks
         live_entries = len(log.decode_region(memory.read_line))

@@ -11,12 +11,25 @@ A processor is a simulator *actor*: each activation runs references
 until the batch quantum expires (bounding the time skew between
 processors, which is what keeps the busy-until contention model
 honest) or until a miss/barrier yields a natural scheduling point.
+
+Fast path (docs/PERFORMANCE.md): the reference loop is the
+simulator's hottest code — every simulated memory reference passes
+through it — so :meth:`Processor._run_batch` inlines the translation
+and the L1/L2 probe into one bound-local loop over the raw cache-set
+dicts, with hit/miss counters accumulated locally and flushed at
+batch boundaries.  The original layered loop is retained verbatim as
+:meth:`Processor._run_batch_reference`; the two are pinned
+behaviourally identical (times, counters, LRU order) by
+``tests/test_fastpath.py``, and ``REPRO_FASTPATH=0`` falls back to
+the reference loop globally.
 """
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Iterator, List, Optional
 
+from repro.cache.cache import EXCLUSIVE, MODIFIED, SHARED
 from repro.cache.hierarchy import HIT, NEED_GETS, NEED_GETX, NEED_UPGRADE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -25,9 +38,17 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Re-check period for a processor parked at a workload barrier.
 BARRIER_POLL_NS = 500
 
+#: Global fast-path switch (set ``REPRO_FASTPATH=0`` to disable).
+FASTPATH_DEFAULT = os.environ.get("REPRO_FASTPATH", "1") != "0"
+
 
 class Processor:
     """One node's processor, consuming a workload reference stream."""
+
+    __slots__ = ("machine", "node_id", "time", "finished", "killed",
+                 "finish_time", "mem_refs", "_stream", "_gaps", "_vaddrs",
+                 "_writes", "_index", "_barrier_index", "_waiting_barrier",
+                 "fastpath", "_batch_fn")
 
     def __init__(self, machine: "Machine", node_id: int,
                  stream: Iterator) -> None:
@@ -45,6 +66,9 @@ class Processor:
         self._index = 0
         self._barrier_index = 0          # how many barriers passed
         self._waiting_barrier = False
+        #: Per-processor fast-path switch (tests flip it to compare).
+        self.fastpath = FASTPATH_DEFAULT
+        self._batch_fn = None
 
     # -- simulator actor protocol ------------------------------------------
 
@@ -71,6 +95,176 @@ class Processor:
     # -- execution ---------------------------------------------------------------
 
     def _run_batch(self) -> Optional[int]:
+        if not self.fastpath:
+            return self._run_batch_reference()
+        batch_fn = self._batch_fn
+        if batch_fn is None:
+            batch_fn = self._bind_fastpath()
+            if batch_fn is None:         # unsupported geometry
+                self.fastpath = False
+                return self._run_batch_reference()
+            self._batch_fn = batch_fn
+        return batch_fn()
+
+    def _bind_fastpath(self):
+        """Compile the inlined reference pipeline for this processor.
+
+        Every invariant of the machine (cache-set dicts, page table,
+        index parameters, latencies) is captured once in closure cells,
+        so the per-reference loop runs on locals only.  Returns ``None``
+        when the geometry rules out inline indexing (non-power-of-two
+        line size), in which case the reference loop is used.
+        """
+        machine = self.machine
+        config = machine.config
+        hierarchy = machine.nodes[self.node_id].hierarchy
+        l1, l2 = hierarchy.l1, hierarchy.l2
+        l1_shift, l1_nsets, l1_groups = l1.index_params()
+        l2_shift, l2_nsets, l2_groups = l2.index_params()
+        if l1_shift is None or l2_shift is None:
+            return None
+        # l1 and l2 share the line size, hence one line-number shift.
+        line_shift = l2_shift
+        l1_sets = l1.raw_sets()
+        l2_sets = l2.raw_sets()
+        l1_assoc = l1.assoc
+        space = machine.addr_space
+        page_get = space._page_table.get
+        allocate = space._allocate
+        in_page_mask = space._line_in_page_mask
+        offset_bits = space._offset_bits
+        proto_read = machine.protocol.read
+        proto_write = machine.protocol.write
+        write_value = hierarchy.write_value
+        next_store = machine.next_store_value
+        l1_hit_ns = config.l1_hit_ns
+        l2_hit_ns = config.l2_hit_ns
+        quantum = config.batch_quantum_ns
+        overlap = config.miss_overlap
+        node_id = self.node_id
+        MOD, EXC, SHA = MODIFIED, EXCLUSIVE, SHARED
+
+        def run_batch() -> Optional[int]:
+            t = self.time
+            deadline = t + quantum
+            gaps, vaddrs, writes = self._gaps, self._vaddrs, self._writes
+            i = self._index
+            n = len(vaddrs)
+            refs = l1h = l1m = l2h = l2m = silent = 0
+            while True:
+                if i >= n:
+                    # Flush local counters and state before the stream
+                    # advances: _next_chunk may cross the warmup marker,
+                    # which resets every statistic machine-wide.
+                    self.mem_refs += refs
+                    l1.hits += l1h
+                    l1.misses += l1m
+                    l2.hits += l2h
+                    l2.misses += l2m
+                    hierarchy.silent_upgrades += silent
+                    refs = l1h = l1m = l2h = l2m = silent = 0
+                    self.time = t
+                    self._index = i
+                    outcome = self._next_chunk()
+                    if outcome is not None:
+                        return outcome if outcome >= 0 else None
+                    t = self.time
+                    gaps, vaddrs, writes = (self._gaps, self._vaddrs,
+                                            self._writes)
+                    i = self._index
+                    n = len(vaddrs)
+                    continue
+                t += gaps[i]
+                vaddr = vaddrs[i]
+                is_write = writes[i]
+                i += 1
+                refs += 1
+
+                # Translate (first-touch allocation on the rare path).
+                base = page_get(vaddr >> offset_bits)
+                if base is None:
+                    base = allocate(vaddr >> offset_bits, node_id)
+                line_addr = base + (vaddr & in_page_mask)
+
+                # L2 lookup with LRU refresh (== SetAssocCache.lookup).
+                line_no = line_addr >> line_shift
+                if l2_groups:
+                    s2 = l2_sets[(line_no & 63)
+                                 + (((((line_no >> 6) * 2654435761) >> 12)
+                                     % l2_groups) << 6)]
+                else:
+                    s2 = l2_sets[line_no % l2_nsets]
+                line = s2.pop(line_addr, None)
+                if line is not None:
+                    s2[line_addr] = line
+                    l2h += 1
+                else:
+                    l2m += 1
+
+                # L1 tag-filter touch (== TagFilter.touch).
+                if l1_groups:
+                    s1 = l1_sets[(line_no & 63)
+                                 + (((((line_no >> 6) * 2654435761) >> 12)
+                                     % l1_groups) << 6)]
+                else:
+                    s1 = l1_sets[line_no % l1_nsets]
+                if line_addr in s1:
+                    del s1[line_addr]
+                    s1[line_addr] = None
+                    l1h += 1
+                    l1_hit = True
+                else:
+                    l1m += 1
+                    if len(s1) >= l1_assoc:
+                        del s1[next(iter(s1))]
+                    s1[line_addr] = None
+                    l1_hit = False
+
+                if line is not None:
+                    if is_write:
+                        state = line.state
+                        if state == SHA:
+                            # Upgrade through the directory.
+                            self.time = t
+                            done = proto_write(node_id, line_addr, t, True)
+                            t += int((done - t) / overlap)
+                            write_value(line_addr, next_store())
+                        else:
+                            if state == EXC:
+                                silent += 1
+                            line.state = MOD
+                            sc = machine._store_counter + 1
+                            machine._store_counter = sc
+                            line.value = sc
+                            t += l1_hit_ns if l1_hit else l2_hit_ns
+                    else:
+                        t += l1_hit_ns if l1_hit else l2_hit_ns
+                else:
+                    # Full miss: directory transaction, overlap-scaled.
+                    self.time = t
+                    if is_write:
+                        done = proto_write(node_id, line_addr, t, False)
+                    else:
+                        done = proto_read(node_id, line_addr, t)
+                    t += int((done - t) / overlap)
+                    if is_write:
+                        write_value(line_addr, next_store())
+
+                if t >= deadline:
+                    self.mem_refs += refs
+                    l1.hits += l1h
+                    l1.misses += l1m
+                    l2.hits += l2h
+                    l2.misses += l2m
+                    hierarchy.silent_upgrades += silent
+                    self.time = t
+                    self._index = i
+                    return t
+
+        return run_batch
+
+    def _run_batch_reference(self) -> Optional[int]:
+        """The original layered loop; the fast path's behavioural oracle."""
         machine = self.machine
         config = machine.config
         hierarchy = machine.nodes[self.node_id].hierarchy

@@ -1,0 +1,191 @@
+"""Parallel sweep executor: app × variant fan-out over worker processes.
+
+The evaluation sweeps (Figure 8 overhead, traffic, log-size exhibits)
+are embarrassingly parallel — every (app, variant) cell is one
+independent simulation.  :func:`run_sweep` fans the cells out over a
+``multiprocessing`` pool and merges the :class:`RunResult`s back in
+job order, so the output is **bit-identical to a serial sweep no
+matter the worker count or completion order**: each simulation is
+deterministic given its arguments, and the merge ignores arrival
+order.  ``tests/test_parallel_sweep.py`` pins serial == 1 == 2 == 4
+workers.
+
+Serial fallback: ``workers=1`` (or ``serial=True``) runs in-process
+with zero multiprocessing machinery, and any pool-setup failure
+(restricted environments without ``fork``/semaphores) degrades to the
+same in-process path with a warning rather than an error.
+
+Used by ``repro sweep`` (CLI) and the throughput harness
+(``benchmarks/test_simulator_throughput.py``); see docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.runner import (
+    DEFAULT_INTERVAL_NS,
+    VARIANTS,
+    RunResult,
+    run_app,
+)
+from repro.workloads.registry import APP_NAMES
+
+
+def sweep_jobs(apps: Optional[Sequence[str]] = None,
+               variants: Optional[Sequence[str]] = None,
+               *, scale: float = 1.0, n_procs: int = 16,
+               interval_ns: int = DEFAULT_INTERVAL_NS,
+               machine_config=None,
+               **revive_overrides) -> List[Tuple[str, str, Dict]]:
+    """The deterministic job list of a sweep: app-major, variant order.
+
+    Each job is ``(app, variant, run_app_kwargs)``.  The list order is
+    the canonical result order — parallel execution may *complete* jobs
+    in any order, but results are always reported in this one.
+    """
+    apps = list(apps) if apps else list(APP_NAMES)
+    variants = list(variants) if variants else list(VARIANTS)
+    unknown = sorted(set(variants) - set(VARIANTS))
+    if unknown:
+        raise ValueError(f"unknown variants: {', '.join(unknown)}; "
+                         f"choose from {VARIANTS}")
+    jobs = []
+    for app in apps:
+        for variant in variants:
+            kwargs = dict(scale=scale, n_procs=n_procs,
+                          interval_ns=interval_ns,
+                          machine_config=machine_config)
+            if variant != "baseline":
+                kwargs.update(revive_overrides)
+            jobs.append((app, variant, kwargs))
+    return jobs
+
+
+def _execute(payload: Tuple[int, Tuple[str, str, Dict]]
+             ) -> Tuple[int, RunResult]:
+    """Worker body: run one job; module-level so it pickles."""
+    index, (app, variant, kwargs) = payload
+    return index, run_app(app, variant, **kwargs)
+
+
+@dataclass
+class SweepResult:
+    """A sweep's merged results plus how they were obtained."""
+
+    #: ``(app, variant) -> RunResult`` in canonical job order.
+    results: Dict[Tuple[str, str], RunResult]
+    #: Worker processes used (1 for a serial run).
+    workers: int
+    #: Wall-clock seconds for the whole sweep.
+    wall_seconds: float
+    #: False when the serial path ran (requested or fallback).
+    parallel: bool
+    #: Canonical (app, variant) order, for renderers.
+    job_order: List[Tuple[str, str]] = field(default_factory=list)
+
+    def get(self, app: str, variant: str) -> RunResult:
+        """The result of one sweep cell."""
+        return self.results[(app, variant)]
+
+    def apps(self) -> List[str]:
+        """Applications present, in job order."""
+        seen: List[str] = []
+        for app, _variant in self.job_order:
+            if app not in seen:
+                seen.append(app)
+        return seen
+
+    def overhead_rows(self) -> List[Dict]:
+        """Figure-8-shaped rows: per-app overhead of each variant.
+
+        Requires the sweep to include ``baseline``; other variants are
+        reported as fractional slowdown against it.
+        """
+        rows = []
+        for app in self.apps():
+            base = self.results.get((app, "baseline"))
+            if base is None:
+                raise ValueError(
+                    "overhead_rows needs the 'baseline' variant in the "
+                    "sweep")
+            row = {"app": app, "baseline_ns": base.execution_time_ns}
+            for (job_app, variant), result in self.results.items():
+                if job_app == app and variant != "baseline":
+                    row[variant] = result.overhead_vs(base)
+            rows.append(row)
+        return rows
+
+    def to_jsonable(self) -> Dict:
+        """A JSON-ready dict of the whole sweep (stable ordering)."""
+        return {
+            "workers": self.workers,
+            "parallel": self.parallel,
+            "wall_seconds": self.wall_seconds,
+            "results": [asdict(self.results[key]) for key in self.job_order],
+        }
+
+
+def default_workers(n_jobs: int) -> int:
+    """Auto worker count: one per job, capped at the CPU count."""
+    return max(1, min(n_jobs, os.cpu_count() or 1))
+
+
+def run_sweep(apps: Optional[Sequence[str]] = None,
+              variants: Optional[Sequence[str]] = None,
+              *, workers: Optional[int] = None, chunksize: int = 1,
+              serial: bool = False, scale: float = 1.0, n_procs: int = 16,
+              interval_ns: int = DEFAULT_INTERVAL_NS, machine_config=None,
+              **revive_overrides) -> SweepResult:
+    """Run an app × variant sweep, fanning out over worker processes.
+
+    ``workers=None`` picks :func:`default_workers`; ``workers=1`` or
+    ``serial=True`` forces the in-process path.  ``chunksize`` batches
+    jobs per worker dispatch (raise it when jobs are many and short).
+    Results are merged in :func:`sweep_jobs` order, making the output
+    independent of scheduling — see the module docstring.
+    """
+    if chunksize < 1:
+        raise ValueError("chunksize must be >= 1")
+    jobs = sweep_jobs(apps, variants, scale=scale, n_procs=n_procs,
+                      interval_ns=interval_ns, machine_config=machine_config,
+                      **revive_overrides)
+    n_workers = workers if workers is not None else default_workers(len(jobs))
+    if n_workers < 1:
+        raise ValueError("workers must be >= 1")
+    use_pool = not serial and n_workers > 1 and len(jobs) > 1
+
+    start = time.perf_counter()
+    indexed: Dict[int, RunResult] = {}
+    ran_parallel = False
+    if use_pool:
+        try:
+            import multiprocessing as mp
+
+            with mp.Pool(processes=n_workers) as pool:
+                for index, result in pool.imap_unordered(
+                        _execute, list(enumerate(jobs)),
+                        chunksize=chunksize):
+                    indexed[index] = result
+            ran_parallel = True
+        except (OSError, ImportError, PermissionError) as exc:
+            warnings.warn(
+                f"parallel sweep unavailable ({exc!r}); "
+                f"falling back to serial execution", RuntimeWarning,
+                stacklevel=2)
+            indexed.clear()
+    if not ran_parallel:
+        for index, result in map(_execute, enumerate(jobs)):
+            indexed[index] = result
+        n_workers = 1
+
+    job_order = [(app, variant) for app, variant, _kwargs in jobs]
+    results = {job_order[index]: indexed[index]
+               for index in range(len(jobs))}
+    return SweepResult(results=results, workers=n_workers,
+                       wall_seconds=time.perf_counter() - start,
+                       parallel=ran_parallel, job_order=job_order)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 
 def _is_power_of_two(n: int) -> bool:
@@ -81,23 +82,25 @@ class MachineConfig:
         self.validate()
 
     # -- derived quantities ----------------------------------------------
+    # Cached: the geometry fields are fixed after validation, and these
+    # are read on the per-reference hot path (docs/PERFORMANCE.md).
 
-    @property
+    @cached_property
     def lines_per_page(self) -> int:
         """Memory lines per page."""
         return self.page_size // self.line_size
 
-    @property
+    @cached_property
     def pages_per_node(self) -> int:
         """Physical pages per node."""
         return self.node_memory_bytes // self.page_size
 
-    @property
+    @cached_property
     def line_offset_bits(self) -> int:
         """Bit width of the within-line offset."""
         return int(math.log2(self.line_size))
 
-    @property
+    @cached_property
     def page_offset_bits(self) -> int:
         """Bit width of the within-page offset."""
         return int(math.log2(self.page_size))

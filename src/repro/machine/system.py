@@ -25,6 +25,7 @@ from repro.core.parity import ParityEngine
 from repro.cpu.processor import Processor
 from repro.machine.config import MachineConfig
 from repro.machine.node import Node
+from repro.memory.geomcache import GeometryCache
 from repro.memory.layout import AddressSpace, HybridGeometry, ParityGeometry
 from repro.network.network import Network
 from repro.obs.profiling import Profiler
@@ -80,6 +81,10 @@ class Machine:
         self.addr_space = AddressSpace(
             config, self.geometry,
             reserved_pages_per_node=1 + log_pages + io_pages)
+        # Machine-owned memoized geometry, shared by the parity engine,
+        # log path, and protocol home lookup.  A rebuilt machine gets a
+        # fresh cache; recovery invalidates it (docs/PERFORMANCE.md).
+        self.geom_cache = GeometryCache(self.addr_space, self.geometry)
         self.nodes: List[Node] = [Node(config, n)
                                   for n in range(config.n_nodes)]
         self.protocol = ProtocolEngine(self)

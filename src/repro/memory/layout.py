@@ -210,6 +210,15 @@ class AddressSpace:
                  reserved_pages_per_node: int = 0) -> None:
         self.config = config
         self.geometry = geometry
+        # Hot-path constants, hoisted so per-reference translation does
+        # no property lookups (see docs/PERFORMANCE.md).
+        self._offset_bits = config.page_offset_bits
+        self._page_mask = config.page_size - 1
+        self._line_mask = ~(config.line_size - 1)
+        #: Page-offset mask already aligned down to the line size:
+        #: ``base + (vaddr & _line_in_page_mask)`` is the line address.
+        self._line_in_page_mask = self._page_mask & self._line_mask
+        self._node_bytes = config.node_memory_bytes
         self._page_table: Dict[int, int] = {}     # vpage -> physical page base
         # The *top* `reserved_pages_per_node` data pages of each node
         # are set aside (system page + the ReVive log region).  Keeping
@@ -235,19 +244,24 @@ class AddressSpace:
 
     def node_of(self, paddr: int) -> int:
         """Node owning a physical address."""
-        return paddr // self.config.node_memory_bytes
+        return paddr // self._node_bytes
 
     def page_of(self, paddr: int) -> int:
         """Physical page index within the owning node."""
-        return (paddr % self.config.node_memory_bytes) // self.config.page_size
+        return (paddr % self._node_bytes) >> self._offset_bits
+
+    def node_page_of(self, paddr: int) -> Tuple[int, int]:
+        """``(node, physical page)`` of an address in one division."""
+        node, within = divmod(paddr, self._node_bytes)
+        return node, within >> self._offset_bits
 
     def line_of(self, paddr: int) -> int:
         """Line-aligned physical address containing ``paddr``."""
-        return paddr & ~(self.config.line_size - 1)
+        return paddr & self._line_mask
 
     def page_base(self, node: int, ppage: int) -> int:
         """First physical address of (node, page)."""
-        return node * self.config.node_memory_bytes + ppage * self.config.page_size
+        return node * self._node_bytes + (ppage << self._offset_bits)
 
     def lines_of_page(self, node: int, ppage: int) -> range:
         """Line addresses covering one physical page."""
@@ -258,19 +272,23 @@ class AddressSpace:
 
     def translate(self, vaddr: int, toucher_node: int) -> int:
         """Map a virtual address to a physical one, allocating on first touch."""
-        vpage = vaddr >> self.config.page_offset_bits
+        vpage = vaddr >> self._offset_bits
         base = self._page_table.get(vpage)
         if base is None:
             base = self._allocate(vpage, toucher_node)
-        return base + (vaddr & (self.config.page_size - 1))
+        return base + (vaddr & self._page_mask)
 
     def translate_line(self, vaddr: int, toucher_node: int) -> int:
         """Translate and align to the containing line."""
-        return self.line_of(self.translate(vaddr, toucher_node))
+        vpage = vaddr >> self._offset_bits
+        base = self._page_table.get(vpage)
+        if base is None:
+            base = self._allocate(vpage, toucher_node)
+        return base + (vaddr & self._line_in_page_mask)
 
     def is_mapped(self, vaddr: int) -> bool:
         """True when the virtual address's page is already bound."""
-        return (vaddr >> self.config.page_offset_bits) in self._page_table
+        return (vaddr >> self._offset_bits) in self._page_table
 
     def mapped_physical_pages(self) -> List[Tuple[int, int]]:
         """All (node, ppage) pairs currently backing virtual pages."""

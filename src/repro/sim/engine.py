@@ -34,6 +34,8 @@ class EventQueue:
     whole-simulation results reproducible run to run.
     """
 
+    __slots__ = ("_heap", "_seq")
+
     def __init__(self) -> None:
         self._heap: list = []
         self._seq = 0
@@ -81,6 +83,9 @@ class Simulator:
     the hook runs synchronously (it may reschedule every actor) and
     returns the next trigger time.
     """
+
+    __slots__ = ("queue", "now", "_hook", "_hook_time", "activations",
+                 "tracer")
 
     def __init__(self) -> None:
         self.queue = EventQueue()
@@ -150,14 +155,36 @@ class Simulator:
                     and next_time > until:
                 break
             time, actor = self.queue.pop()
-            self.now = max(self.now, time)
-            self.activations += 1
-            next_activation = actor(time)
-            if next_activation is not None:
-                self.queue.push(next_activation, actor)
-            elif tracer.enabled:
-                tracer.emit(self.now, "sim", "sim.actor_retire",
-                            actor=getattr(actor, "proc_id", None))
+            # Batched dispatch: while this actor is the only live one
+            # (the common case once other processors retire, and always
+            # in single-processor runs), keep activating it directly
+            # instead of cycling the heap.  Hook and horizon are
+            # re-checked before every activation, exactly as the outer
+            # loop would, so activation counts, hook firings and trace
+            # events are identical to unbatched dispatch.
+            while True:
+                self.now = max(self.now, time)
+                self.activations += 1
+                next_activation = actor(time)
+                if next_activation is None:
+                    if tracer.enabled:
+                        tracer.emit(self.now, "sim", "sim.actor_retire",
+                                    actor=getattr(actor, "proc_id", None))
+                    break
+                if self.queue:
+                    # Another actor is pending — interleave via the heap.
+                    self.queue.push(next_activation, actor)
+                    break
+                if (self._hook is not None and self._hook_time is not None
+                        and next_activation >= self._hook_time):
+                    # Let the outer loop fire the hook (it may drain
+                    # and rebuild the queue, so the actor must be in it).
+                    self.queue.push(next_activation, actor)
+                    break
+                if until is not None and next_activation > until:
+                    self.queue.push(next_activation, actor)
+                    break
+                time = next_activation
         if tracer.enabled:
             tracer.emit(self.now, "sim", "sim.run_end",
                         activations=self.activations)

@@ -63,6 +63,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Cp10ms" in out and "Overhead" in out
 
+    def test_sweep_small(self, capsys, tmp_path):
+        out_json = tmp_path / "sweep.json"
+        assert main(["sweep", "lu", "--variants", "baseline,cp_parity",
+                     "--scale", "0.05", "--nodes", "4",
+                     "--workers", "2", "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 runs" in out and "lu" in out
+        import json
+        blob = json.loads(out_json.read_text())
+        assert len(blob["results"]) == 2
+
+    def test_sweep_serial_matches_parallel(self, capsys):
+        assert main(["sweep", "lu", "--variants", "baseline,cp_parity",
+                     "--scale", "0.05", "--nodes", "4", "--serial"]) == 0
+        serial_out = capsys.readouterr().out
+        assert "(serial)" in serial_out
+        assert main(["sweep", "lu", "--variants", "baseline,cp_parity",
+                     "--scale", "0.05", "--nodes", "4",
+                     "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # Same table body (only the mode/time header line may differ).
+        assert serial_out.splitlines()[-1] == parallel_out.splitlines()[-1]
+
+    def test_sweep_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "nosuchapp"])
+
     def test_recover_small(self, capsys):
         rc = main(["recover", "lu", "--scale", "0.6",
                    "--interval-us", "100"])

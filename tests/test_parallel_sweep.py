@@ -1,0 +1,116 @@
+"""Parallel sweep determinism: worker count must not change results.
+
+Every (app, variant) simulation is deterministic given its arguments,
+and the executor merges results in canonical job order — so a sweep's
+output must be bit-identical whether it runs serially or across any
+number of worker processes.  These tests pin that across workers
+{1, 2, 4}, including per-app overhead percentages, log bytes, and the
+full counter/traffic breakdowns carried by each RunResult.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.harness.parallel import (
+    SweepResult,
+    default_workers,
+    run_sweep,
+    sweep_jobs,
+)
+from repro.machine.config import MachineConfig
+
+APPS = ["lu"]
+VARIANTS = ["baseline", "cp_parity"]
+KW = dict(scale=0.05, n_procs=4, machine_config=MachineConfig.tiny(4),
+          parity_group_size=3, log_bytes_per_node=64 * 1024)
+
+
+def _sweep(**overrides) -> SweepResult:
+    kwargs = dict(KW)
+    kwargs.update(overrides)
+    return run_sweep(APPS, VARIANTS, **kwargs)
+
+
+def _comparable(sweep: SweepResult):
+    """Everything that must not depend on the execution strategy."""
+    return {key: asdict(result) for key, result in sweep.results.items()}
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return _sweep(serial=True)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_across_worker_counts(self, serial, workers):
+        parallel = _sweep(workers=workers)
+        assert _comparable(parallel) == _comparable(serial)
+        assert parallel.job_order == serial.job_order
+
+    def test_overhead_rows_identical(self, serial):
+        parallel = _sweep(workers=2)
+        assert parallel.overhead_rows() == serial.overhead_rows()
+        row = serial.overhead_rows()[0]
+        assert row["app"] == "lu"
+        assert row["baseline_ns"] > 0
+        assert row["cp_parity"] > 0          # ReVive costs something
+
+    def test_log_bytes_identical(self, serial):
+        parallel = _sweep(workers=4)
+        for key in serial.results:
+            assert parallel.results[key].max_log_bytes == \
+                serial.results[key].max_log_bytes
+
+    def test_chunksize_does_not_change_results(self, serial):
+        chunked = _sweep(workers=2, chunksize=2)
+        assert _comparable(chunked) == _comparable(serial)
+
+
+class TestExecutor:
+    def test_job_order_is_app_major(self):
+        jobs = sweep_jobs(["fft", "lu"], ["baseline", "cp_parity"])
+        assert [(a, v) for a, v, _ in jobs] == [
+            ("fft", "baseline"), ("fft", "cp_parity"),
+            ("lu", "baseline"), ("lu", "cp_parity")]
+
+    def test_revive_overrides_skip_baseline(self):
+        jobs = sweep_jobs(["lu"], ["baseline", "cp_parity"],
+                          parity_group_size=3)
+        kwargs = {v: kw for _a, v, kw in jobs}
+        assert "parity_group_size" not in kwargs["baseline"]
+        assert kwargs["cp_parity"]["parity_group_size"] == 3
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown variants"):
+            sweep_jobs(["lu"], ["warp_drive"])
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(APPS, VARIANTS, chunksize=0, **KW)
+        with pytest.raises(ValueError):
+            run_sweep(APPS, VARIANTS, workers=0, **KW)
+
+    def test_serial_flag_reported(self):
+        sweep = _sweep(serial=True)
+        assert sweep.parallel is False
+        assert sweep.workers == 1
+
+    def test_parallel_flag_reported(self):
+        sweep = _sweep(workers=2)
+        assert sweep.parallel is True
+        assert sweep.workers == 2
+
+    def test_default_workers_bounds(self):
+        assert default_workers(0) == 1
+        assert 1 <= default_workers(100) <= 100
+
+    def test_to_jsonable_round_trips(self, tmp_path):
+        import json
+
+        sweep = _sweep(serial=True)
+        blob = json.dumps(sweep.to_jsonable())
+        loaded = json.loads(blob)
+        assert loaded["workers"] == 1
+        assert len(loaded["results"]) == len(sweep.job_order)
+        assert loaded["results"][0]["app"] == "lu"

@@ -16,6 +16,11 @@ Steps (documented in docs/OBSERVABILITY.md):
 4. ``ruff check`` — only when the ruff binary is installed (it is an
    optional dev dependency; the smoke test must not require network
    installs), otherwise the step is reported as skipped.
+5. Perf smoke: one quick throughput measurement through
+   ``repro.harness.perf`` must clear a very soft floor (a fraction of
+   the hard perf-harness floor; see docs/PERFORMANCE.md).  Catches
+   "the simulator got 10x slower" mistakes without the full
+   ``tools/bench.py`` run.
 
 Exits 0 when every executed step passes.
 """
@@ -83,17 +88,34 @@ def step_lint() -> bool:
     return True
 
 
+def step_perf_smoke() -> None:
+    from repro.harness.perf import measure_exhibit
+
+    exhibit = measure_exhibit("baseline", scale=0.05, rounds=1)
+    rate = exhibit["refs_per_sec"]
+    # Deliberately far below the perf harness's floor: this is a
+    # did-it-fall-off-a-cliff check, not a benchmark.
+    if rate < 20_000:
+        raise SystemExit(
+            f"perf smoke: {rate:,.0f} refs/s is catastrophically slow; "
+            f"run python tools/bench.py to investigate")
+    print(f"  perf smoke: {rate:,.0f} refs/s "
+          f"({exhibit['refs']} refs in {exhibit['wall_seconds_best']:.2f}s)")
+
+
 def main() -> int:
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
-    print("[1/3] repro --help")
+    print("[1/4] repro --help")
     step_cli_help()
-    print("[2/3] traced node-loss recovery (repro trace lu)")
+    print("[2/4] traced node-loss recovery (repro trace lu)")
     step_traced_run()
-    print("[3/3] ruff check")
+    print("[3/4] ruff check")
     if step_lint():
         print("  lint clean")
     else:
         print("  ruff not installed -- skipped (optional dev dependency)")
+    print("[4/4] perf smoke")
+    step_perf_smoke()
     print("smoke: OK")
     return 0
 
