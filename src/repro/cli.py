@@ -8,6 +8,8 @@ Exposes the common workflows without writing Python::
     python -m repro sweep lu fft --workers 4  # parallel app x variant sweep
     python -m repro recover lu --lost-node 3  # fault injection + recovery
     python -m repro trace lu --out out.jsonl  # traced node-loss recovery
+    python -m repro report sweep_traces/      # dashboard from traces/ledgers
+    python -m repro trace-lint out.jsonl      # schema-validate a trace
     python -m repro table3                    # machine configuration
 
 All commands accept ``--scale`` (run length multiplier),
@@ -15,11 +17,15 @@ All commands accept ``--scale`` (run length multiplier),
 ``MachineConfig.tiny(n)`` machine).  ``run`` and ``recover`` accept
 ``--trace PATH`` (write the JSONL event trace documented in
 docs/OBSERVABILITY.md), ``--trace-categories`` (comma-separated
-filter), and ``--profile`` (wall-clock profile of the simulator
-itself).  ``trace`` is the full worked example: a traced run with a
-node-loss fault whose recovery breakdown is recomputed *from the
-trace* and checked against the live ``RecoveryResult``.  Exit status
-is nonzero when a recovery verification (or the trace cross-check)
+filter), ``--profile`` (wall-clock profile of the simulator itself),
+and ``--ledger PATH`` (live run-health monitors + manifest).
+``trace`` is the full worked example: a traced run with a node-loss
+fault whose recovery breakdown is recomputed *from the trace* and
+checked against the live ``RecoveryResult``.  ``sweep --trace-dir``
+collects per-job traces and ledgers, merged deterministically;
+``report`` renders the Figure 8/11/12 dashboard from such a directory
+(or any trace files) without re-running anything.  Exit status is
+nonzero when a recovery verification (or the trace cross-check)
 fails, so the CLI is scriptable in CI.
 """
 
@@ -37,6 +43,7 @@ from repro.harness.reporting import (
     trace_summary_table,
 )
 from repro.harness.runner import (
+    BENCH_LOG_BYTES,
     DEFAULT_INTERVAL_NS,
     VARIANT_LABELS,
     VARIANTS,
@@ -48,8 +55,12 @@ from repro.machine.config import MachineConfig
 from repro.obs import (
     CATEGORIES,
     JsonlFileSink,
+    MonitorSuite,
     Profiler,
+    RunLedger,
     Tracer,
+    attach_monitors,
+    default_monitors,
     read_trace,
     recovery_breakdown,
 )
@@ -104,6 +115,14 @@ def make_parser() -> argparse.ArgumentParser:
                        help="run in-process without multiprocessing")
     swp_p.add_argument("--json", metavar="PATH", default=None,
                        help="also write the full sweep results as JSON")
+    swp_p.add_argument("--trace-dir", metavar="DIR", default=None,
+                       help="write each job's JSONL trace + ledger there "
+                            "and merge the per-run ledgers into "
+                            "sweep.ledger.json (render with: repro "
+                            "report DIR)")
+    swp_p.add_argument("--trace-categories", metavar="CATS", default=None,
+                       help="comma-separated category filter for "
+                            "--trace-dir traces")
 
     rec_p = sub.add_parser("recover",
                            help="inject a fault and verify recovery")
@@ -126,6 +145,25 @@ def make_parser() -> argparse.ArgumentParser:
                             "--trace overrides it")
     trc_p.add_argument("--lost-node", type=int, default=1,
                        help="node to lose permanently (default 1)")
+
+    rep_p = sub.add_parser(
+        "report",
+        help="render a run-health dashboard (Figures 8/11/12) from "
+             "JSONL traces and ledger manifests alone — pass trace "
+             "files or a sweep --trace-dir directory")
+    rep_p.add_argument("paths", nargs="+", metavar="PATH",
+                       help="trace files (*.jsonl) or directories of "
+                            "traces + ledgers (e.g. a sweep --trace-dir)")
+    rep_p.add_argument("--json", metavar="PATH", default=None,
+                       help="also dump the full report as JSON")
+
+    lint_p = sub.add_parser(
+        "trace-lint",
+        help="validate JSONL traces against the schema "
+             "(docs/OBSERVABILITY.md): envelope, categories, names, "
+             "required fields; exit 1 on any problem")
+    lint_p.add_argument("paths", nargs="+", metavar="PATH",
+                        help="JSONL trace files to validate")
     return parser
 
 
@@ -155,6 +193,10 @@ def _observability(parser: argparse.ArgumentParser) -> None:
                              "'ckpt,recovery' (default: all categories)")
     parser.add_argument("--profile", action="store_true",
                         help="print a wall-clock profile of the simulator")
+    parser.add_argument("--ledger", metavar="PATH", default=None,
+                        help="monitor the run live (log watermarks, "
+                             "checkpoint cadence, traffic, recovery) and "
+                             "write the ledger manifest to PATH")
 
 
 def _machine_setup(args):
@@ -179,6 +221,43 @@ def _make_tracer(args) -> Optional[Tracer]:
                 f"unknown trace categories {', '.join(unknown)}; "
                 f"choose from {', '.join(CATEGORIES)}")
     return Tracer(JsonlFileSink(path), categories=categories)
+
+
+def _monitoring_setup(args, tracer, interval_ns, variant):
+    """Attach the standard monitors when ``--ledger`` was requested.
+
+    Returns ``(tracer, suite)``; without ``--ledger`` the tracer passes
+    through and the suite is None.  Monitors are a sink, so requesting
+    a ledger without ``--trace`` still works — the run is observed
+    in-process without writing a trace file.
+    """
+    if not getattr(args, "ledger", None):
+        return tracer, None
+    capacity = None
+    if variant != "baseline":
+        capacity = _tiny_revive_overrides(args).get(
+            "log_bytes_per_node", BENCH_LOG_BYTES)
+    monitors = default_monitors(interval_ns=interval_ns,
+                                log_capacity_bytes=capacity)
+    if tracer is None:
+        suite = MonitorSuite(monitors)
+        return Tracer(suite), suite
+    return tracer, attach_monitors(tracer, monitors)
+
+
+def _write_ledger(args, app, variant, run_args, suite, tracer,
+                  result=None) -> None:
+    """Finalize and write the ``--ledger`` manifest for one command."""
+    from repro.workloads.splash2 import SPLASH2_SPECS
+
+    spec = SPLASH2_SPECS.get(app)
+    ledger = RunLedger(app, variant, run_args=run_args,
+                       seed=spec.seed if spec is not None else None)
+    manifest = ledger.finalize(result=result, monitors=suite,
+                               tracer=tracer)
+    ledger.write(args.ledger)
+    state = "healthy" if manifest["healthy"] else "UNHEALTHY"
+    print(f"ledger: {args.ledger} ({state})")
 
 
 def cmd_list() -> int:
@@ -210,12 +289,14 @@ def cmd_run(args) -> int:
     interval = int(args.interval_us * 1000)
     machine_config, n_procs = _machine_setup(args)
     tracer = _make_tracer(args)
+    tracer, suite = _monitoring_setup(args, tracer, interval, args.variant)
     profiler = Profiler() if args.profile else None
+    overrides = (_tiny_revive_overrides(args)
+                 if args.variant != "baseline" else {})
     result = run_app(args.app, args.variant, scale=args.scale,
                      interval_ns=interval, machine_config=machine_config,
                      n_procs=n_procs, tracer=tracer, profiler=profiler,
-                     **(_tiny_revive_overrides(args)
-                        if args.variant != "baseline" else {}))
+                     **overrides)
     rows = [
         ["execution time (us)", f"{result.execution_time_ns / 1e3:.1f}"],
         ["references", result.total_refs],
@@ -234,7 +315,15 @@ def cmd_run(args) -> int:
         print(profile_table(result.profile))
     if tracer is not None:
         tracer.close()
-        print(f"\ntrace: {tracer.events_emitted} events -> {args.trace}")
+        if args.trace:
+            print(f"\ntrace: {tracer.events_emitted} events -> "
+                  f"{args.trace}")
+    if suite is not None:
+        _write_ledger(args, args.app, args.variant,
+                      dict(scale=args.scale, n_procs=n_procs,
+                           interval_ns=interval,
+                           machine_config=machine_config, **overrides),
+                      suite, tracer, result=result)
     return 0
 
 
@@ -271,12 +360,23 @@ def cmd_sweep(args) -> int:
     if args.variants:
         variants = [v.strip() for v in args.variants.split(",") if v.strip()]
     machine_config, n_procs = _machine_setup(args)
+    trace_categories = None
+    if args.trace_categories:
+        trace_categories = [c.strip()
+                            for c in args.trace_categories.split(",")
+                            if c.strip()]
+        unknown = sorted(set(trace_categories) - set(CATEGORIES))
+        if unknown:
+            raise SystemExit(
+                f"unknown trace categories {', '.join(unknown)}; "
+                f"choose from {', '.join(CATEGORIES)}")
     sweep = run_sweep(
         args.apps or None, variants,
         workers=args.workers, chunksize=args.chunksize, serial=args.serial,
         scale=args.scale, n_procs=n_procs,
         interval_ns=int(args.interval_us * 1000),
-        machine_config=machine_config, **_tiny_revive_overrides(args))
+        machine_config=machine_config, trace_dir=args.trace_dir,
+        trace_categories=trace_categories, **_tiny_revive_overrides(args))
 
     swept_variants = []
     for _app, variant in sweep.job_order:
@@ -305,6 +405,12 @@ def cmd_sweep(args) -> int:
         with open(args.json, "w") as fh:
             json.dump(sweep.to_jsonable(), fh, indent=2)
         print(f"\nresults: {args.json}")
+    if sweep.trace_dir is not None:
+        healthy = sum(1 for ledger in sweep.ledgers or []
+                      if ledger.get("healthy"))
+        print(f"\ntraces + ledgers: {sweep.trace_dir} "
+              f"({healthy}/{len(sweep.ledgers or [])} runs healthy; "
+              f"render with: repro report {sweep.trace_dir})")
     return 0
 
 
@@ -313,6 +419,7 @@ def cmd_recover(args) -> int:
     interval = int(args.interval_us * 1000)
     machine_config, n_procs = _machine_setup(args)
     tracer = _make_tracer(args)
+    tracer, suite = _monitoring_setup(args, tracer, interval, "cp_parity")
     profiler = Profiler() if args.profile else None
     machine = build_machine("cp_parity", machine_config=machine_config,
                             interval_ns=interval, tracer=tracer,
@@ -357,7 +464,16 @@ def cmd_recover(args) -> int:
         print(profile_table(profile_summary(profiler)))
     if tracer is not None:
         tracer.close()
-        print(f"trace: {tracer.events_emitted} events -> {args.trace}")
+        if args.trace:
+            print(f"trace: {tracer.events_emitted} events -> {args.trace}")
+    if suite is not None:
+        _write_ledger(args, args.app, "cp_parity",
+                      dict(scale=args.scale, n_procs=n_procs,
+                           interval_ns=interval,
+                           machine_config=machine_config,
+                           lost_node=args.lost_node,
+                           **_tiny_revive_overrides(args)),
+                      suite, tracer)
     if mismatches or broken:
         print(f"VERIFICATION FAILED: {len(mismatches)} mismatching lines, "
               f"{len(broken)} broken stripes", file=sys.stderr)
@@ -391,6 +507,7 @@ def cmd_trace(args) -> int:
     interval = int(args.interval_us * 1000)
     machine_config, n_procs = _machine_setup(args)
     tracer = _make_tracer(args)
+    tracer, suite = _monitoring_setup(args, tracer, interval, "cp_parity")
     trace_path = args.trace or args.out
     profiler = Profiler() if args.profile else None
     machine = build_machine("cp_parity", machine_config=machine_config,
@@ -445,6 +562,14 @@ def cmd_trace(args) -> int:
         print()
         print(profile_table(profile_summary(profiler)))
     print(f"\ntrace: {tracer.events_emitted} events -> {trace_path}")
+    if suite is not None:
+        _write_ledger(args, args.app, "cp_parity",
+                      dict(scale=args.scale, n_procs=n_procs,
+                           interval_ns=interval,
+                           machine_config=machine_config,
+                           lost_node=args.lost_node,
+                           **_tiny_revive_overrides(args)),
+                      suite, tracer)
     if mismatches:
         print(f"VERIFICATION FAILED: {len(mismatches)} mismatching lines",
               file=sys.stderr)
@@ -456,6 +581,52 @@ def cmd_trace(args) -> int:
     print("verification: memory bit-exact, trace breakdown matches "
           "RecoveryResult")
     return 0
+
+
+def cmd_report(args) -> int:
+    """``repro report``: the dashboard, from traces + ledgers alone.
+
+    Never touches a live machine — every number is recomputed from the
+    JSONL events and ledger manifests (Figure 8 from ledgers, Figure 11
+    log occupancy and Figure 12 recovery breakdown from events), the
+    same computations ``tests/test_obs_report.py`` cross-checks
+    bit-for-bit against simulator state.
+    """
+    from repro.obs.report import build_report, gather_runs, render_report
+
+    try:
+        runs = gather_runs(args.paths)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"no trace at {exc}")
+    if not runs:
+        raise SystemExit("no traces found under "
+                         + ", ".join(args.paths))
+    report = build_report(runs)
+    print(render_report(report))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"\nreport: {args.json}")
+    return 0
+
+
+def cmd_trace_lint(args) -> int:
+    """``repro trace-lint``: schema-validate traces; exit 1 on problems."""
+    from repro.obs import lint_file
+
+    failures = 0
+    for path in args.paths:
+        problems = lint_file(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        else:
+            events = read_trace(path)
+            print(f"{path}: {len(events)} events, schema-clean")
+    return 1 if failures else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -473,6 +644,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_sweep(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "report":
+        return cmd_report(args)
+    if args.command == "trace-lint":
+        return cmd_trace_lint(args)
     assert args.command == "recover"
     return cmd_recover(args)
 

@@ -22,6 +22,14 @@ batch boundaries.  The original layered loop is retained verbatim as
 behaviourally identical (times, counters, LRU order) by
 ``tests/test_fastpath.py``, and ``REPRO_FASTPATH=0`` falls back to
 the reference loop globally.
+
+When a tracer with the ``mem`` category is installed, the fast path
+additionally emits one ``mem.batch`` event per counter flush (per-batch
+L1/L2 hit/miss and remote-home directory-transaction counts — see
+docs/OBSERVABILITY.md).  The hook is resolved at closure-bind time, so
+an untraced run pays nothing; the reference loop does not emit
+``mem`` events (it exists to pin timing/counter behaviour, which the
+batch events do not affect).
 """
 
 from __future__ import annotations
@@ -92,6 +100,16 @@ class Processor:
         self.finished = True
         self.killed = True
 
+    def invalidate_fastpath(self) -> None:
+        """Drop the compiled batch closure so machine state is re-read.
+
+        The closure captures machine invariants — including the tracer
+        — at bind time; anything that changes them after a batch has
+        run (``Machine.install_tracer``) must invalidate so the next
+        batch re-binds against the new state.
+        """
+        self._batch_fn = None
+
     # -- execution ---------------------------------------------------------------
 
     def _run_batch(self) -> Optional[int]:
@@ -143,6 +161,19 @@ class Processor:
         overlap = config.miss_overlap
         node_id = self.node_id
         MOD, EXC, SHA = MODIFIED, EXCLUSIVE, SHARED
+        # The mem-category hook is resolved once at bind time: when the
+        # tracer is off (or filters out "mem"), trace_mem is a plain
+        # False and the loop below never touches tracing state at all —
+        # the zero-cost-when-off guarantee the throughput benchmark
+        # pins.  Machine.install_tracer invalidates the closure so a
+        # later-installed tracer re-binds with trace_mem recomputed.
+        tracer = machine.tracer
+        trace_mem = tracer.enabled and (tracer.categories is None
+                                        or "mem" in tracer.categories)
+        emit = tracer.emit
+        node_bytes = space._node_bytes
+        home_lo = node_id * node_bytes
+        home_hi = home_lo + node_bytes
 
         def run_batch() -> Optional[int]:
             t = self.time
@@ -150,19 +181,24 @@ class Processor:
             gaps, vaddrs, writes = self._gaps, self._vaddrs, self._writes
             i = self._index
             n = len(vaddrs)
-            refs = l1h = l1m = l2h = l2m = silent = 0
+            refs = l1h = l1m = l2h = l2m = silent = remote = fills = 0
             while True:
                 if i >= n:
                     # Flush local counters and state before the stream
                     # advances: _next_chunk may cross the warmup marker,
                     # which resets every statistic machine-wide.
+                    if trace_mem and refs:
+                        emit(t, "mem", "mem.batch", node=node_id,
+                             refs=refs, l1_hits=l1h + fills, l1_misses=l1m,
+                             l2_hits=l2h, l2_misses=l2m, remote=remote)
                     self.mem_refs += refs
                     l1.hits += l1h
                     l1.misses += l1m
                     l2.hits += l2h
                     l2.misses += l2m
                     hierarchy.silent_upgrades += silent
-                    refs = l1h = l1m = l2h = l2m = silent = 0
+                    refs = l1h = l1m = l2h = l2m = silent = remote = \
+                        fills = 0
                     self.time = t
                     self._index = i
                     outcome = self._next_chunk()
@@ -225,6 +261,9 @@ class Processor:
                         state = line.state
                         if state == SHA:
                             # Upgrade through the directory.
+                            if trace_mem and not home_lo <= line_addr \
+                                    < home_hi:
+                                remote += 1
                             self.time = t
                             done = proto_write(node_id, line_addr, t, True)
                             t += int((done - t) / overlap)
@@ -241,6 +280,15 @@ class Processor:
                         t += l1_hit_ns if l1_hit else l2_hit_ns
                 else:
                     # Full miss: directory transaction, overlap-scaled.
+                    if trace_mem:
+                        # The fill below touches the L1 filter directly
+                        # (always a hit: the tag was just inserted), so
+                        # the batch's L1 numbers mirror TagFilter.hits
+                        # exactly — the flush arithmetic must not count
+                        # it twice.
+                        fills += 1
+                        if not home_lo <= line_addr < home_hi:
+                            remote += 1
                     self.time = t
                     if is_write:
                         done = proto_write(node_id, line_addr, t, False)
@@ -251,6 +299,10 @@ class Processor:
                         write_value(line_addr, next_store())
 
                 if t >= deadline:
+                    if trace_mem and refs:
+                        emit(t, "mem", "mem.batch", node=node_id,
+                             refs=refs, l1_hits=l1h + fills, l1_misses=l1m,
+                             l2_hits=l2h, l2_misses=l2m, remote=remote)
                     self.mem_refs += refs
                     l1.hits += l1h
                     l1.misses += l1m

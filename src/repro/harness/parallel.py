@@ -15,12 +15,23 @@ with zero multiprocessing machinery, and any pool-setup failure
 (restricted environments without ``fork``/semaphores) degrades to the
 same in-process path with a warning rather than an error.
 
+Traced sweeps (``trace_dir=``): every worker runs its job under a
+tracer wrapped in the standard monitor suite, writes
+``<app>__<variant>.jsonl`` + ``<app>__<variant>.ledger.json`` into
+``trace_dir``, and ships the ledger manifest back; the parent merges
+the manifests **in canonical job order** into ``sweep.ledger.json``.
+Ledgers carry no wall-clock values, so a traced parallel sweep's
+files are byte-identical to a serial one's — pinned by
+``tests/test_parallel_sweep.py``.  ``repro report trace_dir/`` renders
+the dashboard from them.
+
 Used by ``repro sweep`` (CLI) and the throughput harness
 (``benchmarks/test_simulator_throughput.py``); see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 import warnings
@@ -28,6 +39,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.runner import (
+    BENCH_LOG_BYTES,
     DEFAULT_INTERVAL_NS,
     VARIANTS,
     RunResult,
@@ -67,10 +79,43 @@ def sweep_jobs(apps: Optional[Sequence[str]] = None,
 
 
 def _execute(payload: Tuple[int, Tuple[str, str, Dict]]
-             ) -> Tuple[int, RunResult]:
-    """Worker body: run one job; module-level so it pickles."""
+             ) -> Tuple[int, RunResult, Optional[Dict]]:
+    """Worker body: run one job; module-level so it pickles.
+
+    With a ``_trace`` spec in the kwargs (injected by
+    :func:`run_sweep` for traced sweeps), the run is observed by the
+    standard monitor suite, its trace and ledger land in the sweep's
+    trace directory, and the ledger manifest rides back with the
+    result for the deterministic merge.
+    """
     index, (app, variant, kwargs) = payload
-    return index, run_app(app, variant, **kwargs)
+    kwargs = dict(kwargs)
+    trace_spec = kwargs.pop("_trace", None)
+    if trace_spec is None:
+        return index, run_app(app, variant, **kwargs), None
+
+    from repro.obs.monitor import MonitorSuite, RunLedger, default_monitors
+    from repro.obs.tracer import JsonlFileSink, Tracer
+    from repro.workloads.splash2 import SPLASH2_SPECS
+
+    capacity = None
+    if variant != "baseline":
+        capacity = kwargs.get("log_bytes_per_node", BENCH_LOG_BYTES)
+    suite = MonitorSuite(
+        default_monitors(interval_ns=kwargs.get("interval_ns"),
+                         log_capacity_bytes=capacity),
+        sink=JsonlFileSink(trace_spec["path"]))
+    tracer = Tracer(suite, categories=trace_spec.get("categories"))
+    result = run_app(app, variant, tracer=tracer, **kwargs)
+    tracer.close()
+
+    spec = SPLASH2_SPECS.get(app)
+    ledger = RunLedger(app, variant, run_args=kwargs,
+                       seed=spec.seed if spec is not None else None)
+    manifest = ledger.finalize(result=result, monitors=suite,
+                               tracer=tracer)
+    ledger.write(trace_spec["ledger_path"])
+    return index, result, manifest
 
 
 @dataclass
@@ -87,6 +132,10 @@ class SweepResult:
     parallel: bool
     #: Canonical (app, variant) order, for renderers.
     job_order: List[Tuple[str, str]] = field(default_factory=list)
+    #: Per-job ledger manifests in job order (traced sweeps only).
+    ledgers: Optional[List[Dict]] = None
+    #: Where traces/ledgers were written (traced sweeps only).
+    trace_dir: Optional[str] = None
 
     def get(self, app: str, variant: str) -> RunResult:
         """The result of one sweep cell."""
@@ -140,6 +189,8 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
               *, workers: Optional[int] = None, chunksize: int = 1,
               serial: bool = False, scale: float = 1.0, n_procs: int = 16,
               interval_ns: int = DEFAULT_INTERVAL_NS, machine_config=None,
+              trace_dir: Optional[str] = None,
+              trace_categories: Optional[Sequence[str]] = None,
               **revive_overrides) -> SweepResult:
     """Run an app × variant sweep, fanning out over worker processes.
 
@@ -148,29 +199,43 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
     jobs per worker dispatch (raise it when jobs are many and short).
     Results are merged in :func:`sweep_jobs` order, making the output
     independent of scheduling — see the module docstring.
+
+    ``trace_dir`` turns on per-job tracing: each worker writes its
+    job's JSONL trace and ledger manifest there (created if needed),
+    optionally filtered to ``trace_categories``, and the merged
+    ``sweep.ledger.json`` is written after the deterministic merge.
     """
     if chunksize < 1:
         raise ValueError("chunksize must be >= 1")
     jobs = sweep_jobs(apps, variants, scale=scale, n_procs=n_procs,
                       interval_ns=interval_ns, machine_config=machine_config,
                       **revive_overrides)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        categories = (list(trace_categories)
+                      if trace_categories is not None else None)
+        for app, variant, kwargs in jobs:
+            base = os.path.join(trace_dir, f"{app}__{variant}")
+            kwargs["_trace"] = {"path": base + ".jsonl",
+                                "ledger_path": base + ".ledger.json",
+                                "categories": categories}
     n_workers = workers if workers is not None else default_workers(len(jobs))
     if n_workers < 1:
         raise ValueError("workers must be >= 1")
     use_pool = not serial and n_workers > 1 and len(jobs) > 1
 
     start = time.perf_counter()
-    indexed: Dict[int, RunResult] = {}
+    indexed: Dict[int, Tuple[RunResult, Optional[Dict]]] = {}
     ran_parallel = False
     if use_pool:
         try:
             import multiprocessing as mp
 
             with mp.Pool(processes=n_workers) as pool:
-                for index, result in pool.imap_unordered(
+                for index, result, manifest in pool.imap_unordered(
                         _execute, list(enumerate(jobs)),
                         chunksize=chunksize):
-                    indexed[index] = result
+                    indexed[index] = (result, manifest)
             ran_parallel = True
         except (OSError, ImportError, PermissionError) as exc:
             warnings.warn(
@@ -179,13 +244,32 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
                 stacklevel=2)
             indexed.clear()
     if not ran_parallel:
-        for index, result in map(_execute, enumerate(jobs)):
-            indexed[index] = result
+        for index, result, manifest in map(_execute, enumerate(jobs)):
+            indexed[index] = (result, manifest)
         n_workers = 1
 
     job_order = [(app, variant) for app, variant, _kwargs in jobs]
-    results = {job_order[index]: indexed[index]
+    results = {job_order[index]: indexed[index][0]
                for index in range(len(jobs))}
+    ledgers: Optional[List[Dict]] = None
+    if trace_dir is not None:
+        # Merge worker-side manifests in canonical job order —
+        # completion order never leaks into the merged ledger, and the
+        # manifests themselves carry no wall-clock values, so this file
+        # is byte-identical however the sweep was scheduled.
+        ledgers = [indexed[index][1] for index in range(len(jobs))]
+        merged = {
+            "ledger_version": ledgers[0]["ledger_version"] if ledgers
+            else None,
+            "schema_version": ledgers[0]["schema_version"] if ledgers
+            else None,
+            "jobs": ledgers,
+        }
+        with open(os.path.join(trace_dir, "sweep.ledger.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(merged, handle, sort_keys=True, indent=2)
+            handle.write("\n")
     return SweepResult(results=results, workers=n_workers,
                        wall_seconds=time.perf_counter() - start,
-                       parallel=ran_parallel, job_order=job_order)
+                       parallel=ran_parallel, job_order=job_order,
+                       ledgers=ledgers, trace_dir=trace_dir)

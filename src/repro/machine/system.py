@@ -127,9 +127,10 @@ class Machine:
         Propagates to the simulator (``sim.*`` events), each node's
         directory (``coh.*``), and each ReVive log (``log.*``); the
         machine's own ``tracer`` attribute serves the checkpoint and
-        recovery instrumentation (``ckpt.*`` / ``recovery.*``).  Call
-        any time before (or between) ``run()`` calls; pass
-        ``NULL_TRACER`` to detach.
+        recovery instrumentation (``ckpt.*`` / ``recovery.*``) and the
+        processors' fast-path ``mem.*`` batch events.  Call any time
+        before (or between) ``run()`` calls; pass ``NULL_TRACER`` to
+        detach.
         """
         self.tracer = tracer
         self.simulator.tracer = tracer
@@ -138,6 +139,12 @@ class Machine:
         if self.revive is not None:
             for log in self.revive.logs.values():
                 log.tracer = tracer
+        # Compiled fast-path closures captured the previous tracer at
+        # bind time; drop them so the next batch re-binds against the
+        # new one (otherwise a tracer installed mid-run would silently
+        # miss every mem.batch event from already-bound processors).
+        for proc in self.processors:
+            proc.invalidate_fastpath()
 
     # -- reserved regions -----------------------------------------------------
 
@@ -262,6 +269,11 @@ class Machine:
             return
         self._warmup_reset_done = True
         self.warmup_end_time = self.simulator.now
+        if self.tracer.enabled:
+            # Mark the reset in the trace so stream consumers (monitors,
+            # repro report) can partition pre/steady-state exactly like
+            # the live statistics below do.
+            self.tracer.emit(self.simulator.now, "sim", "sim.warmup_done")
         if self.revive is not None:
             # First-touch initialisation logs every page once; restart
             # the log high-water mark so Figure 11 reports steady state.

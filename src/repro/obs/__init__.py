@@ -12,6 +12,17 @@ Three independent instruments over one simulation:
 * :class:`Profiler` — wall-clock per simulator component and
   activations per second, for the simulator's own performance.
 
+Built on the tracer's event stream (all in ``docs/OBSERVABILITY.md``):
+
+* :class:`MonitorSuite` + the monitors in :mod:`repro.obs.monitor` —
+  streaming run-health state (log watermarks, checkpoint cadence,
+  traffic rates, recovery phases) computed in-process, plus the
+  :class:`RunLedger` manifest stamping each run.
+* :mod:`repro.obs.report` — the ``repro report`` dashboard: Figures 8,
+  11, and 12 recomputed from traces + ledgers alone.
+* :func:`lint_trace <repro.obs.lint.lint_file>` — the ``repro
+  trace-lint`` schema validator.
+
 Quick start::
 
     from repro.obs import Tracer, JsonlFileSink, recovery_breakdown
@@ -26,7 +37,22 @@ or, without writing Python: ``python -m repro trace lu --out out.jsonl``.
 """
 
 from repro.obs.analysis import category_counts, read_trace, recovery_breakdown
+from repro.obs.lint import lint_events, lint_file
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.monitor import (
+    LEDGER_VERSION,
+    CheckpointCadenceMonitor,
+    LogOccupancyMonitor,
+    MemTrafficMonitor,
+    Monitor,
+    MonitorSuite,
+    RecoveryMonitor,
+    RunLedger,
+    TrafficRateMonitor,
+    attach_monitors,
+    default_monitors,
+    read_ledger,
+)
 from repro.obs.profiling import Profiler
 from repro.obs.tracer import (
     CATEGORIES,
@@ -41,6 +67,7 @@ from repro.obs.tracer import (
 __all__ = [
     "SCHEMA_VERSION",
     "CATEGORIES",
+    "LEDGER_VERSION",
     "Tracer",
     "NULL_TRACER",
     "JsonlFileSink",
@@ -51,6 +78,19 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Profiler",
+    "Monitor",
+    "MonitorSuite",
+    "LogOccupancyMonitor",
+    "CheckpointCadenceMonitor",
+    "TrafficRateMonitor",
+    "RecoveryMonitor",
+    "MemTrafficMonitor",
+    "RunLedger",
+    "attach_monitors",
+    "default_monitors",
+    "read_ledger",
+    "lint_events",
+    "lint_file",
     "read_trace",
     "category_counts",
     "recovery_breakdown",

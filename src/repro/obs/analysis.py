@@ -41,10 +41,20 @@ def read_trace(path: str) -> List[Dict]:
 
 
 def category_counts(events: Iterable[Dict]) -> Dict[str, int]:
-    """Events per category — the first thing to look at in any trace."""
+    """Events per category — the first thing to look at in any trace.
+
+    Categories outside :data:`~repro.obs.tracer.CATEGORIES` (from a
+    newer schema, or a foreign tool writing the same envelope) are
+    counted under their own name rather than folded together; events
+    with no usable ``cat`` at all land under ``"<missing>"`` so a
+    malformed trace is visible instead of silently mis-grouped.  Use
+    ``repro trace-lint`` to diagnose either case.
+    """
     counts: Dict[str, int] = {}
     for event in events:
-        cat = event.get("cat", "?")
+        cat = event.get("cat")
+        if not isinstance(cat, str) or not cat:
+            cat = "<missing>"
         counts[cat] = counts.get(cat, 0) + 1
     return dict(sorted(counts.items()))
 

@@ -1,0 +1,127 @@
+"""Schema validation for JSONL traces (``repro trace-lint``).
+
+The trace schema is a versioned interface (``docs/OBSERVABILITY.md``):
+every event carries the five-key envelope, categories come from
+:data:`~repro.obs.tracer.CATEGORIES`, names are prefixed by their
+category, and each known event name carries a documented field set.
+:func:`lint_events` checks all of that over any event stream — a file
+this package wrote, or one produced by a foreign tool claiming the
+same schema — and returns human-readable problem strings (empty means
+clean).  ``tools/smoke.py`` lints every smoke-test trace with it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.analysis import read_trace
+from repro.obs.tracer import CATEGORIES, SCHEMA_VERSION
+
+#: The envelope every event must carry (tracer.py's contract).
+ENVELOPE_KEYS = ("v", "seq", "ts", "cat", "name")
+
+#: Required event-specific fields per known event name (schema v1).
+#: Fields may be *added* within a version, so extra keys never fail
+#: lint; missing required keys do.
+EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "sim.run_begin": ("until", "pending"),
+    "sim.hook_fire": (),
+    "sim.actor_retire": ("actor",),
+    "sim.run_end": ("activations",),
+    "sim.warmup_done": (),
+    "coh.transition": ("node", "line", "state", "owner", "sharers"),
+    "coh.clear": ("node", "entries"),
+    "mem.batch": ("node", "refs", "l1_hits", "l1_misses",
+                  "l2_hits", "l2_misses", "remote"),
+    "log.append": ("node", "slot", "epoch", "line", "commit",
+                   "bytes_used"),
+    "log.reclaim": ("node", "slots", "oldest_epoch", "bytes_used"),
+    "ckpt.begin": ("epoch",),
+    "ckpt.flush_done": ("dirty_lines",),
+    "ckpt.barrier1": (),
+    "ckpt.commit": ("epoch", "dur_ns"),
+    "recovery.begin": ("lost_node",),
+    "recovery.phase_begin": ("phase",),
+    "recovery.phase_end": ("phase", "dur_ns"),
+    "recovery.end": ("target_epoch", "lost_work_ns", "entries_undone",
+                     "resume_time"),
+}
+
+
+def lint_events(events: Iterable[Dict],
+                source: str = "<trace>") -> List[str]:
+    """Validate an event stream; returns problem strings (empty = ok).
+
+    Checks, per event: the envelope keys exist; ``v`` equals
+    :data:`SCHEMA_VERSION`; ``seq`` is a strictly increasing integer;
+    ``ts`` is a non-negative integer; ``cat`` is a known category;
+    ``name`` is namespaced under its category; and known names carry
+    their required fields (:data:`EVENT_FIELDS`).  Unknown names in a
+    known category are flagged too — they usually mean a version skew
+    between writer and reader.
+    """
+    problems: List[str] = []
+    last_seq = None
+    for position, event in enumerate(events):
+        where = f"{source}:{position}"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: event is not a JSON object")
+            continue
+        missing = [key for key in ENVELOPE_KEYS if key not in event]
+        if missing:
+            problems.append(
+                f"{where}: missing envelope keys {missing}")
+            continue
+        if event["v"] != SCHEMA_VERSION:
+            problems.append(
+                f"{where}: schema version {event['v']!r} "
+                f"(expected {SCHEMA_VERSION})")
+        seq = event["seq"]
+        if not isinstance(seq, int):
+            problems.append(f"{where}: seq {seq!r} is not an integer")
+        elif last_seq is not None and seq <= last_seq:
+            problems.append(
+                f"{where}: seq {seq} does not increase (previous "
+                f"{last_seq})")
+        else:
+            last_seq = seq
+        ts = event["ts"]
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(
+                f"{where}: ts {ts!r} is not a non-negative integer")
+        cat, name = event["cat"], event["name"]
+        if cat not in CATEGORIES:
+            problems.append(
+                f"{where}: unknown category {cat!r} "
+                f"(known: {', '.join(CATEGORIES)})")
+            continue
+        if not isinstance(name, str) or not name.startswith(cat + "."):
+            problems.append(
+                f"{where}: name {name!r} is not namespaced under "
+                f"category {cat!r}")
+            continue
+        required = EVENT_FIELDS.get(name)
+        if required is None:
+            problems.append(f"{where}: unknown event name {name!r}")
+            continue
+        absent = [fieldname for fieldname in required
+                  if fieldname not in event]
+        if absent:
+            problems.append(
+                f"{where}: {name} missing required fields {absent}")
+    return problems
+
+
+def lint_file(path: str) -> List[str]:
+    """Lint one JSONL trace file (following rotated segments)."""
+    if not os.path.exists(path):
+        return [f"{path}: no such trace"]
+    try:
+        events = read_trace(path)
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSONL ({exc})"]
+    if not events:
+        return [f"{path}: trace is empty"]
+    return lint_events(events, source=os.path.basename(path))

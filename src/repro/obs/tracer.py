@@ -41,7 +41,7 @@ from typing import Dict, Iterable, List, Optional, Set
 SCHEMA_VERSION = 1
 
 #: The known event categories, in emission-site order.
-CATEGORIES = ("sim", "coh", "log", "ckpt", "recovery")
+CATEGORIES = ("sim", "coh", "mem", "log", "ckpt", "recovery")
 
 
 class RingBufferSink:

@@ -136,3 +136,66 @@ class TestCommands:
         assert rc == 0
         assert "trace breakdown matches RecoveryResult" in out
         assert "MISMATCH" not in out
+
+
+class TestMonitoringCommands:
+    def test_run_with_ledger_writes_manifest(self, tmp_path, capsys):
+        ledger_path = str(tmp_path / "run.ledger.json")
+        rc = main(["run", "lu", "--scale", "0.05", "--nodes", "4",
+                   "--ledger", ledger_path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"ledger: {ledger_path} (healthy)" in out
+        import json
+        manifest = json.loads(open(ledger_path, encoding="utf-8").read())
+        assert manifest["app"] == "lu"
+        assert manifest["variant"] == "cp_parity"
+        assert manifest["healthy"]
+        assert manifest["result"]["execution_time_ns"] > 0
+        assert set(manifest["verdicts"]) == {
+            "log_occupancy", "checkpoint_cadence", "traffic_rate",
+            "recovery", "mem_traffic"}
+
+    def test_sweep_trace_dir_then_report_and_lint(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "traces")
+        rc = main(["sweep", "lu", "--variants", "baseline,cp_parity",
+                   "--scale", "0.05", "--nodes", "4", "--serial",
+                   "--trace-dir", trace_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "traces + ledgers:" in out and "2/2 runs healthy" in out
+
+        report_json = str(tmp_path / "report.json")
+        rc = main(["report", trace_dir, "--json", report_json])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Figure 8" in out and "lu__cp_parity" in out
+        import json
+        report = json.loads(open(report_json, encoding="utf-8").read())
+        assert [run["name"] for run in report["runs"]] == \
+            ["lu__baseline", "lu__cp_parity"]
+        assert report["overhead_rows"][0]["app"] == "lu"
+
+        import os
+        traces = sorted(os.path.join(trace_dir, name)
+                        for name in os.listdir(trace_dir)
+                        if name.endswith(".jsonl"))
+        rc = main(["trace-lint", *traces])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("schema-clean") == len(traces) == 2
+
+    def test_trace_lint_flags_bad_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v": 1, "seq": 0}\n')
+        rc = main(["trace-lint", str(bad)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "missing envelope keys" in captured.err
+
+    def test_unknown_sweep_trace_category_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown trace categories"):
+            main(["sweep", "lu", "--variants", "baseline",
+                  "--scale", "0.05", "--nodes", "4", "--serial",
+                  "--trace-dir", str(tmp_path / "t"),
+                  "--trace-categories", "bogus"])

@@ -69,6 +69,15 @@ class TestFiltering:
         tracer.emit(1, "sim", "sim.run_end")
         assert len(sink.events()) == 1
 
+    def test_close_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(sink=JsonlFileSink(path))
+        tracer.emit(0, "sim", "sim.hook_fire")
+        tracer.close()
+        tracer.close()                      # second close: a no-op
+        assert not tracer.enabled
+        assert [e["ts"] for e in read_trace(path)] == [0]
+
 
 class TestRingBufferSink:
     def test_keeps_newest_and_counts_dropped(self):
@@ -108,6 +117,25 @@ class TestJsonlFileSink:
     def test_rejects_non_positive_rotation(self, tmp_path):
         with pytest.raises(ValueError):
             JsonlFileSink(str(tmp_path / "t.jsonl"), max_events_per_file=0)
+
+    def test_many_segments_form_one_seamless_seq_ordered_stream(
+            self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlFileSink(path, max_events_per_file=7)
+        with Tracer(sink=sink) as tracer:
+            for i in range(100):
+                tracer.emit(i, "sim", "sim.hook_fire")
+        assert len(sink.paths()) == 15      # ceil(100 / 7)
+        events = read_trace(path)
+        assert [e["seq"] for e in events] == list(range(100))
+        assert [e["ts"] for e in events] == list(range(100))
+
+    def test_sink_close_is_idempotent(self, tmp_path):
+        sink = JsonlFileSink(str(tmp_path / "t.jsonl"))
+        sink.write({"v": SCHEMA_VERSION, "seq": 0, "ts": 0,
+                    "cat": "sim", "name": "sim.hook_fire"})
+        sink.close()
+        sink.close()                        # must not raise on closed file
 
 
 class TestZeroCostWhenOff:

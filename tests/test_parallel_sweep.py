@@ -67,6 +67,65 @@ class TestDeterminism:
         assert _comparable(chunked) == _comparable(serial)
 
 
+class TestTracedSweepDeterminism:
+    """Traced sweeps: files and ledgers independent of worker count."""
+
+    def _traced(self, trace_dir, **overrides):
+        return _sweep(trace_dir=str(trace_dir), **overrides)
+
+    def test_parallel_files_byte_identical_to_serial(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = self._traced(serial_dir, serial=True)
+        parallel = self._traced(parallel_dir, workers=2)
+        names = sorted(p.name for p in serial_dir.iterdir())
+        assert names == sorted(p.name for p in parallel_dir.iterdir())
+        assert "sweep.ledger.json" in names
+        for name in names:
+            assert (serial_dir / name).read_bytes() == \
+                (parallel_dir / name).read_bytes(), name
+        assert parallel.ledgers == serial.ledgers
+
+    def test_traced_results_match_untraced(self, tmp_path):
+        # Tracing observes the sweep; it must not change its results.
+        untraced = _sweep(serial=True)
+        traced = self._traced(tmp_path / "t", serial=True)
+        assert _comparable(traced) == _comparable(untraced)
+
+    def test_ledger_layout(self, tmp_path):
+        import json
+
+        sweep = self._traced(tmp_path / "t", serial=True)
+        assert sweep.trace_dir == str(tmp_path / "t")
+        assert [(m["app"], m["variant"]) for m in sweep.ledgers] == \
+            sweep.job_order
+        for (app, variant), manifest in zip(sweep.job_order, sweep.ledgers):
+            result = sweep.results[(app, variant)]
+            assert manifest["result"]["execution_time_ns"] == \
+                result.execution_time_ns
+            assert manifest["result"]["max_log_bytes"] == \
+                result.max_log_bytes
+            assert manifest["healthy"]
+            base = tmp_path / "t" / f"{app}__{variant}"
+            assert base.with_suffix(".jsonl").exists()
+        merged = json.loads((tmp_path / "t" / "sweep.ledger.json")
+                            .read_text())
+        assert merged["jobs"] == sweep.ledgers
+
+    def test_category_filter_applies_to_every_job(self, tmp_path):
+        import json
+
+        # Short interval: the tiny run must commit checkpoints, else a
+        # ckpt-only trace is legitimately empty.
+        self._traced(tmp_path / "t", serial=True, interval_ns=25_000,
+                     trace_categories=["ckpt"])
+        for path in (tmp_path / "t").glob("*__cp_parity.jsonl"):
+            events = [json.loads(line)
+                      for line in path.read_text().splitlines()]
+            assert events
+            assert {e["cat"] for e in events} == {"ckpt"}
+
+
 class TestExecutor:
     def test_job_order_is_app_major(self):
         jobs = sweep_jobs(["fft", "lu"], ["baseline", "cp_parity"])

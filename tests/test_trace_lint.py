@@ -1,0 +1,148 @@
+"""Tests for repro.obs.lint: the trace schema validator.
+
+``repro trace-lint`` is the schema's executable contract: traces the
+package writes must lint clean, and each way a foreign (or corrupted)
+trace can violate the schema must produce a problem string.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (JsonlFileSink, SCHEMA_VERSION, Tracer, lint_events,
+                       lint_file)
+from repro.obs.lint import ENVELOPE_KEYS, EVENT_FIELDS
+from tests.conftest import ToyWorkload, build_tiny_machine
+
+
+def ev(seq, name, ts=0, **fields):
+    return dict({"v": SCHEMA_VERSION, "seq": seq, "ts": ts,
+                 "cat": name.split(".")[0], "name": name}, **fields)
+
+
+def valid_stream():
+    return [
+        ev(0, "sim.run_begin", until=None, pending=3),
+        ev(1, "ckpt.begin", ts=10, epoch=1),
+        ev(2, "ckpt.commit", ts=40, epoch=1, dur_ns=30),
+        ev(3, "sim.warmup_done", ts=50),
+        ev(4, "mem.batch", ts=60, node=0, refs=10, l1_hits=8, l1_misses=2,
+           l2_hits=1, l2_misses=1, remote=0),
+    ]
+
+
+class TestLintEvents:
+    def test_clean_stream_has_no_problems(self):
+        assert lint_events(valid_stream()) == []
+
+    def test_extra_fields_never_fail(self):
+        # Fields may be added within a schema version.
+        event = ev(0, "ckpt.begin", epoch=1, experimental_hint="x")
+        assert lint_events([event]) == []
+
+    def test_non_object_event(self):
+        (problem,) = lint_events(["not a dict"])
+        assert "not a JSON object" in problem
+
+    def test_missing_envelope_keys(self):
+        event = ev(0, "ckpt.begin", epoch=1)
+        del event["ts"], event["cat"]
+        (problem,) = lint_events([event], source="t.jsonl")
+        assert problem.startswith("t.jsonl:0:")
+        assert "missing envelope keys" in problem
+
+    def test_wrong_schema_version(self):
+        event = ev(0, "ckpt.begin", epoch=1)
+        event["v"] = SCHEMA_VERSION + 1
+        (problem,) = lint_events([event])
+        assert "schema version" in problem
+
+    def test_seq_must_strictly_increase(self):
+        events = [ev(0, "sim.warmup_done"), ev(0, "sim.warmup_done", ts=1)]
+        (problem,) = lint_events(events)
+        assert "does not increase" in problem
+
+    def test_non_integer_seq_and_ts(self):
+        event = ev(0, "sim.warmup_done")
+        event["seq"] = "zero"
+        event["ts"] = -5
+        problems = lint_events([event])
+        assert any("seq" in p for p in problems)
+        assert any("ts" in p for p in problems)
+
+    def test_unknown_category(self):
+        event = ev(0, "ckpt.begin", epoch=1)
+        event["cat"] = "quantum"
+        (problem,) = lint_events([event])
+        assert "unknown category 'quantum'" in problem
+
+    def test_name_not_namespaced_under_category(self):
+        event = ev(0, "ckpt.begin", epoch=1)
+        event["name"] = "log.append"        # cat stays "ckpt"
+        (problem,) = lint_events([event])
+        assert "not namespaced" in problem
+
+    def test_unknown_event_name_flagged(self):
+        (problem,) = lint_events([ev(0, "ckpt.wormhole")])
+        assert "unknown event name" in problem
+
+    def test_missing_required_fields(self):
+        event = ev(0, "log.append", node=0, slot=1)
+        (problem,) = lint_events([event])
+        assert "log.append missing required fields" in problem
+        assert "bytes_used" in problem
+
+    def test_catalog_is_namespaced_and_enveloped(self):
+        # Internal consistency of the schema catalog itself.
+        assert ENVELOPE_KEYS == ("v", "seq", "ts", "cat", "name")
+        for name, fields in EVENT_FIELDS.items():
+            assert name.split(".")[0] in {"sim", "coh", "mem", "log",
+                                          "ckpt", "recovery"}
+            assert not set(fields) & set(ENVELOPE_KEYS)
+
+
+class TestLintFile:
+    def test_missing_file(self, tmp_path):
+        (problem,) = lint_file(str(tmp_path / "nope.jsonl"))
+        assert "no such trace" in problem
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        (problem,) = lint_file(str(path))
+        assert "trace is empty" in problem
+
+    def test_invalid_jsonl(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"v": 1,\n')
+        (problem,) = lint_file(str(path))
+        assert "not valid JSONL" in problem
+
+    def test_written_stream_round_trips_clean(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in valid_stream():
+                handle.write(json.dumps(event) + "\n")
+        assert lint_file(path) == []
+
+    def test_live_toy_run_trace_lints_clean(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        machine = build_tiny_machine()
+        tracer = Tracer(JsonlFileSink(path))
+        machine.install_tracer(tracer)
+        machine.attach_workload(ToyWorkload(rounds=2))
+        machine.run()
+        tracer.close()
+        assert lint_file(path) == []
+
+    def test_rotated_trace_lints_clean_across_segments(self, tmp_path):
+        path = str(tmp_path / "rot.jsonl")
+        sink = JsonlFileSink(path, max_events_per_file=50)
+        machine = build_tiny_machine()
+        tracer = Tracer(sink)
+        machine.install_tracer(tracer)
+        machine.attach_workload(ToyWorkload(rounds=1, refs_per_round=500))
+        machine.run()
+        tracer.close()
+        assert len(sink.paths()) > 1
+        assert lint_file(path) == []

@@ -12,7 +12,9 @@ Steps (documented in docs/OBSERVABILITY.md):
    JSONL trace whose recomputed recovery breakdown matches the live
    ``RecoveryResult`` (the command itself verifies this and exits
    non-zero on mismatch).
-3. Every trace event carries the schema-v1 envelope.
+3. The trace passes ``python -m repro trace-lint`` — the full schema
+   validation (envelope, categories, names, required fields), a strict
+   superset of the quick envelope check also performed here.
 4. ``ruff check`` — only when the ruff binary is installed (it is an
    optional dev dependency; the smoke test must not require network
    installs), otherwise the step is reported as skipped.
@@ -75,7 +77,13 @@ def step_traced_run() -> None:
                     f"{json.dumps(event)}")
             if event["v"] != SCHEMA_VERSION:
                 raise SystemExit(f"unexpected schema version: {event}")
-        print(f"  traced run: {len(events)} schema-v{SCHEMA_VERSION} events")
+        lint = run([sys.executable, "-m", "repro", "trace-lint",
+                    trace_path], capture_output=True, text=True)
+        if lint.returncode != 0:
+            raise SystemExit("repro trace-lint failed on the smoke "
+                             f"trace:\n{lint.stdout}\n{lint.stderr}")
+        print(f"  traced run: {len(events)} schema-v{SCHEMA_VERSION} "
+              f"events, trace-lint clean")
 
 
 def step_lint() -> bool:
