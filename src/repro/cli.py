@@ -9,6 +9,8 @@ Exposes the common workflows without writing Python::
     python -m repro recover lu --lost-node 3  # fault injection + recovery
     python -m repro trace lu --out out.jsonl  # traced node-loss recovery
     python -m repro report sweep_traces/      # dashboard from traces/ledgers
+    python -m repro latency out.jsonl         # span latency percentiles
+    python -m repro export-trace out.jsonl    # Perfetto / chrome://tracing
     python -m repro trace-lint out.jsonl      # schema-validate a trace
     python -m repro table3                    # machine configuration
 
@@ -161,9 +163,36 @@ def make_parser() -> argparse.ArgumentParser:
         "trace-lint",
         help="validate JSONL traces against the schema "
              "(docs/OBSERVABILITY.md): envelope, categories, names, "
-             "required fields; exit 1 on any problem")
+             "required fields, span pairing + segment-sum closure; "
+             "exit 1 on any problem")
     lint_p.add_argument("paths", nargs="+", metavar="PATH",
                         help="JSONL trace files to validate")
+
+    lat_p = sub.add_parser(
+        "latency",
+        help="per-class transaction latency percentiles "
+             "(p50/p90/p99/p999) and critical-path attribution, "
+             "recomputed from span events in JSONL traces alone")
+    lat_p.add_argument("paths", nargs="+", metavar="PATH",
+                       help="trace files (*.jsonl) or directories of "
+                            "traces (e.g. a sweep --trace-dir)")
+    lat_p.add_argument("--json", metavar="PATH", default=None,
+                       help="also dump the latency report as JSON")
+
+    exp_p = sub.add_parser(
+        "export-trace",
+        help="convert a JSONL trace into Chrome Trace Event JSON for "
+             "Perfetto (ui.perfetto.dev) or chrome://tracing — one "
+             "track per node, nested slices per span segment")
+    exp_p.add_argument("trace", metavar="TRACE",
+                       help="JSONL trace file (rotated segments are "
+                            "followed)")
+    exp_p.add_argument("--out", metavar="PATH", default=None,
+                       help="output path (default: TRACE with a "
+                            ".chrome.json suffix)")
+    exp_p.add_argument("--spans-only", action="store_true",
+                       help="export span slices only (skip the 'i' "
+                            "instant markers for point events)")
     return parser
 
 
@@ -629,6 +658,63 @@ def cmd_trace_lint(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_latency(args) -> int:
+    """``repro latency``: percentile + attribution tables from spans.
+
+    Traces come from any command run with ``--trace`` (or a sweep's
+    ``--trace-dir``) under schema v2 with the ``span`` category
+    enabled.  The report is recomputed from the events alone, and for
+    a deterministic sweep it is byte-identical whether the traces were
+    produced serially or in parallel.
+    """
+    from repro.obs.analysis import latency_report
+    from repro.obs.report import gather_runs, render_latency
+
+    try:
+        runs = gather_runs(args.paths)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"no trace at {exc}")
+    if not runs:
+        raise SystemExit("no traces found under " + ", ".join(args.paths))
+    reports = {}
+    for run in runs:
+        latency = latency_report(run["events"])
+        reports[run["name"]] = latency
+        if len(runs) > 1:
+            print(f"== {run['name']} ==")
+        print(render_latency(latency))
+        if len(runs) > 1:
+            print()
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(reports, fh, indent=2, sort_keys=True)
+        print(f"latency report: {args.json}")
+    return 0
+
+
+def cmd_export_trace(args) -> int:
+    """``repro export-trace``: JSONL -> Chrome Trace Event JSON."""
+    from repro.obs.export import write_chrome_trace
+
+    try:
+        events = read_trace(args.trace)
+    except FileNotFoundError:
+        raise SystemExit(f"no trace at {args.trace}")
+    out = args.out
+    if out is None:
+        stem = args.trace[:-len(".jsonl")] \
+            if args.trace.endswith(".jsonl") else args.trace
+        out = stem + ".chrome.json"
+    slices = write_chrome_trace(events, out,
+                                include_instants=not args.spans_only)
+    print(f"{args.trace}: {len(events)} events -> {slices} trace "
+          f"entries in {out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = make_parser().parse_args(argv)
@@ -648,6 +734,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_report(args)
     if args.command == "trace-lint":
         return cmd_trace_lint(args)
+    if args.command == "latency":
+        return cmd_latency(args)
+    if args.command == "export-trace":
+        return cmd_export_trace(args)
     assert args.command == "recover"
     return cmd_recover(args)
 

@@ -89,16 +89,30 @@ class ProtocolEngine:
         self.stats.counter("txn.read_miss").add()
         home_id = self._home_of(line_addr)
         home = self._node(home_id)
+        spans = self.machine.spans
+        sp = (spans.begin("read_miss", requester, at, line=line_addr)
+              if spans.enabled else None)
         t = self.network.send_control(requester, home_id, at, "RD/RDX")
+        if sp is not None:
+            sp.seg("net", t)
         entry, t = self._dir_accept(home, line_addr, at=t)
+        if sp is not None:
+            # From arrival to directory service completion — including
+            # waiting out a busy line and controller queueing, i.e. the
+            # "directory occupancy" the attribution report surfaces.
+            sp.seg("dir", t)
 
         if entry.state == DIR_EXCLUSIVE and entry.owner != requester:
-            done = self._read_from_owner(requester, home_id, entry, line_addr, t)
+            done = self._read_from_owner(requester, home_id, entry, line_addr,
+                                         t, span=sp)
             fill_state = SHARED
         else:
             mem_done = self._mem_read(home, line_addr, t, "RD/RDX")
             done = self.network.send_line(home_id, requester, mem_done,
                                           "RD/RDX")
+            if sp is not None:
+                sp.seg("mem_read", mem_done)
+                sp.seg("net", done)
             if entry.state == DIR_UNCACHED:
                 entry.set_exclusive(requester)
                 fill_state = EXCLUSIVE
@@ -110,20 +124,29 @@ class ProtocolEngine:
             if home.directory.tracer.enabled:
                 home.directory.trace_transition(line_addr, entry, done)
 
+        if sp is not None:
+            sp.end(done)
         self._fill(requester, line_addr, fill_state, value=0, at=done)
         return done
 
     def _read_from_owner(self, requester: int, home_id: int, entry,
-                         line_addr: int, t: int) -> int:
+                         line_addr: int, t: int, span=None) -> int:
         """3-hop read: forward to the exclusive owner, who supplies data."""
         owner_id = entry.owner
         owner = self._node(owner_id)
         t_owner = self.network.send_control(home_id, owner_id, t, "RD/RDX")
+        if span is not None:
+            span.seg("net", t_owner)
         t_owner += self.config.l2_hit_ns
+        if span is not None:
+            # The owner's L2 lookup supplies the data: memory time.
+            span.seg("mem_read", t_owner)
         dirty_value = owner.hierarchy.downgrade(line_addr)
         if dirty_value is not None:
             # Owner sends the dirty line to the requester and a sharing
             # write-back to home memory (which triggers ReVive actions).
+            # The write-back is off the requester's critical path, so it
+            # is deliberately not handed the span.
             done = self.network.send_line(owner_id, requester, t_owner,
                                           "RD/RDX")
             wb_arrival = self.network.send_line(owner_id, home_id, t_owner,
@@ -140,7 +163,12 @@ class ProtocolEngine:
             mem_done = self._mem_read(home, line_addr, ack, "RD/RDX")
             done = self.network.send_line(home_id, requester, mem_done,
                                           "RD/RDX")
+            if span is not None:
+                span.seg("net", ack)
+                span.seg("mem_read", mem_done)
             entry.busy_until = max(entry.busy_until, mem_done)
+        if span is not None:
+            span.seg("net", done)
         entry.set_shared({owner_id, requester})
         home = self._node(home_id)
         if home.directory.tracer.enabled:
@@ -159,11 +187,20 @@ class ProtocolEngine:
         self.stats.counter("txn.upgrade" if upgrade else "txn.write_miss").add()
         home_id = self._home_of(line_addr)
         home = self._node(home_id)
+        spans = self.machine.spans
+        sp = (spans.begin("upgrade" if upgrade else "write_miss", requester,
+                          at, line=line_addr)
+              if spans.enabled else None)
         t = self.network.send_control(requester, home_id, at, "RD/RDX")
+        if sp is not None:
+            sp.seg("net", t)
         entry, t = self._dir_accept(home, line_addr, at=t)
+        if sp is not None:
+            sp.seg("dir", t)
 
         # ReVive Figure 5(a): a store intent logs the line's checkpoint
-        # value in the background; the reply is never delayed.
+        # value in the background; the reply is never delayed — so none
+        # of its log/parity time is charged to this span.
         if self.machine.revive is not None:
             busy = self.machine.revive.on_store_intent(home_id, line_addr, t)
             entry.busy_until = max(entry.busy_until, busy)
@@ -174,17 +211,27 @@ class ProtocolEngine:
         transferred: Optional[int] = None
         if entry.state == DIR_EXCLUSIVE and entry.owner != requester:
             transferred, done = self._transfer_ownership(
-                requester, home_id, entry, line_addr, t)
+                requester, home_id, entry, line_addr, t, span=sp)
         elif upgrade:
             done = self.network.send_control(home_id, requester, t, "RD/RDX")
+            if sp is not None:
+                sp.seg("net", done)
         else:
             mem_done = self._mem_read(home, line_addr, t, "RD/RDX")
             transferred = home.memory.read_line(line_addr)
             done = self.network.send_line(home_id, requester, mem_done,
                                           "RD/RDX")
+            if sp is not None:
+                sp.seg("mem_read", mem_done)
+                sp.seg("net", done)
             entry.busy_until = max(entry.busy_until, mem_done)
 
         done = max(done, inv_done)
+        if sp is not None:
+            # Any residual wait for the last invalidation ack travels
+            # the network, so it is attributed there.
+            sp.seg("net", done)
+            sp.end(done)
         entry.set_exclusive(requester)
         if home.directory.tracer.enabled:
             home.directory.trace_transition(line_addr, entry, done)
@@ -202,19 +249,28 @@ class ProtocolEngine:
         if entry.state != DIR_SHARED:
             return t
         inv_done = t
+        spans = self.machine.spans
         for sharer in sorted(entry.sharers):
             if sharer == requester:
                 continue
+            # Each invalidated sharer gets its own span (node = the
+            # sharer), mirroring the per-sharer ``txn.invalidation``
+            # counter bit-for-bit.
+            isp = (spans.begin("invalidation", sharer, t, line=line_addr)
+                   if spans.enabled else None)
             arrive = self.network.send_control(home_id, sharer, t, "RD/RDX")
             self._node(sharer).hierarchy.invalidate(line_addr)
             ack = self.network.send_control(sharer, requester, arrive,
                                             "RD/RDX")
+            if isp is not None:
+                isp.seg("net", ack)
+                isp.end(ack)
             inv_done = max(inv_done, ack)
             self.stats.counter("txn.invalidation").add()
         return inv_done
 
     def _transfer_ownership(self, requester: int, home_id: int, entry,
-                            line_addr: int, t: int):
+                            line_addr: int, t: int, span=None):
         """GETX hitting an exclusive remote owner: dirty transfer.
 
         The dirty value moves cache-to-cache; main memory is *not*
@@ -224,7 +280,11 @@ class ProtocolEngine:
         owner_id = entry.owner
         owner = self._node(owner_id)
         arrive = self.network.send_control(home_id, owner_id, t, "RD/RDX")
+        if span is not None:
+            span.seg("net", arrive)
         arrive += self.config.l2_hit_ns
+        if span is not None:
+            span.seg("mem_read", arrive)
         dirty_value = owner.hierarchy.invalidate(line_addr)
         if dirty_value is None:
             # Clean exclusive owner: home supplies data from memory.
@@ -235,9 +295,15 @@ class ProtocolEngine:
             value = home.memory.read_line(line_addr)
             done = self.network.send_line(home_id, requester, mem_done,
                                           "RD/RDX")
+            if span is not None:
+                span.seg("net", ack)
+                span.seg("mem_read", mem_done)
+                span.seg("net", done)
             entry.busy_until = max(entry.busy_until, mem_done)
             return value, done
         done = self.network.send_line(owner_id, requester, arrive, "RD/RDX")
+        if span is not None:
+            span.seg("net", done)
         return dirty_value, done
 
     # -- write-backs -----------------------------------------------------------
@@ -256,6 +322,8 @@ class ProtocolEngine:
         home_id = self._home_of(line_addr)
         home = self._node(home_id)
         if value is None:
+            # Replacement hints move no data and get no span (they are
+            # counted separately as ``txn.hint``).
             self.stats.counter("txn.hint").add()
             t = self.network.send_control(src, home_id, at, "ExeWB")
             entry, t = self._dir_accept(home, line_addr, at=t)
@@ -266,10 +334,20 @@ class ProtocolEngine:
             return t
 
         self.stats.counter("txn.writeback").add()
+        spans = self.machine.spans
+        sp = (spans.begin("writeback", src, at, line=line_addr,
+                          category=category)
+              if spans.enabled else None)
         t = self.network.send_line(src, home_id, at, category)
+        if sp is not None:
+            sp.seg("net", t)
         entry, t = self._dir_accept(home, line_addr, at=t)
+        if sp is not None:
+            sp.seg("dir", t)
         ack_time, busy = self._commit_memory_write(home, line_addr, value, t,
-                                                   category)
+                                                   category, span=sp)
+        if sp is not None:
+            sp.end(ack_time)
         entry.busy_until = max(entry.busy_until, busy)
         if not retain_clean and entry.state == DIR_EXCLUSIVE and entry.owner == src:
             entry.set_uncached()
@@ -278,15 +356,19 @@ class ProtocolEngine:
         return ack_time
 
     def _commit_memory_write(self, home, line_addr: int, value: int, at: int,
-                             category: str):
+                             category: str, span=None):
         """Route a memory write through ReVive (or directly, baseline).
 
-        Returns ``(ack_time, line_busy_until)``.
+        Returns ``(ack_time, line_busy_until)``.  ``span``, when given,
+        receives the log/parity/memory segments of the critical path up
+        to the acknowledgment time.
         """
         if self.machine.revive is not None:
             return self.machine.revive.on_memory_write(
-                home.node_id, line_addr, value, at, category)
+                home.node_id, line_addr, value, at, category, span=span)
         done = self._mem_write(home, line_addr, value, at, category)
+        if span is not None:
+            span.seg("mem_write", done)
         return done, done
 
     # -- cache install helpers ---------------------------------------------------

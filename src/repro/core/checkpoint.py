@@ -67,6 +67,12 @@ class CheckpointCoordinator:
         if tracer.enabled:
             tracer.emit(trigger_time, "ckpt", "ckpt.begin",
                         epoch=self.checkpoints_committed + 1)
+        # Machine-wide span (node -1): interrupt + flush to the flush
+        # barrier, commit records as the log segment, barriers as net.
+        spans = machine.spans
+        sp = (spans.begin("ckpt", -1, trigger_time,
+                          epoch=self.checkpoints_committed + 1)
+              if spans.enabled else None)
         flush_done = interrupt_at
         total_dirty = 0
         for node in machine.nodes:
@@ -98,11 +104,15 @@ class CheckpointCoordinator:
         if tracer.enabled:
             tracer.emit(flush_done, "ckpt", "ckpt.flush_done",
                         dirty_lines=total_dirty)
+        if sp is not None:
+            sp.seg("mem_write", flush_done)
 
         # Two-phase commit: barrier; durable commit record; barrier.
         barrier1 = flush_done + config.barrier_ns
         if tracer.enabled:
             tracer.emit(barrier1, "ckpt", "ckpt.barrier1")
+        if sp is not None:
+            sp.seg("net", barrier1)
         marker_done = barrier1
         for node in machine.nodes:
             log = machine.revive.logs[node.node_id]
@@ -111,6 +121,10 @@ class CheckpointCoordinator:
             if ack > marker_done:
                 marker_done = ack
         commit_time = marker_done + config.barrier_ns
+        if sp is not None:
+            sp.seg("log", marker_done)
+            sp.seg("net", commit_time)
+            sp.end(commit_time)
 
         machine.revive.on_checkpoint_committed(at=commit_time)
         self.commit_times.append(commit_time)

@@ -90,12 +90,15 @@ class ReViveController:
         return busy
 
     def on_memory_write(self, home_id: int, line_addr: int, new_value: int,
-                        at: int, category: str) -> Tuple[int, int]:
+                        at: int, category: str,
+                        span=None) -> Tuple[int, int]:
         """Write ``line_addr`` in home memory through the ReVive path.
 
         Returns ``(ack_time, busy_until)``: when the write-back may be
         acknowledged, and how long the directory entry must stay busy
-        (until the last parity acknowledgment).
+        (until the last parity acknowledgment).  ``span``, when given,
+        receives the segments on the acknowledgment's critical path;
+        parity work past the ack time is background and uncharged.
         """
         home = self.machine.nodes[home_id]
         log = self.logs[home_id]
@@ -111,6 +114,8 @@ class ReViveController:
                 t = home.mem_timing.access(t)
                 self.stats.memory_traffic.add("PAR", self.config.line_size)
                 extra_accesses += 1
+                if span is not None:
+                    span.seg("mem_read", t)
             write_done = home.mem_timing.access(t)
             self.stats.memory_traffic.add(category, self.config.line_size)
             home.memory.write_line(line_addr, new_value)
@@ -119,14 +124,18 @@ class ReViveController:
             extra_accesses += 1 if mirrored else 2
             self._count_event(EVENT_WB_LOGGED, accesses=extra_accesses,
                               lines=1, messages=2)
+            if span is not None:
+                span.seg("mem_write", write_done)
             return write_done, parity_ack
 
         # Figure 5(b): log first, then data; the ack is delayed until
         # the log entry and its parity are safely stored.
         read_done = home.mem_timing.access(at)
         self.stats.memory_traffic.add("PAR", self.config.line_size)
+        if span is not None:
+            span.seg("mem_read", read_done)
         log_done = self._append_log_entry(home_id, line_addr, old_value,
-                                          read_done)
+                                          read_done, span=span)
         write_done = home.mem_timing.access(log_done)
         self.stats.memory_traffic.add(category, self.config.line_size)
         home.memory.write_line(line_addr, new_value)
@@ -146,6 +155,8 @@ class ReViveController:
         else:
             self._count_event(EVENT_WB_UNLOGGED, accesses=8, lines=3,
                               messages=4)
+        if span is not None:
+            span.seg("mem_write", write_done)
         return write_done, data_parity_ack
 
     # -- checkpoint support ------------------------------------------------------
@@ -194,11 +205,15 @@ class ReViveController:
 
     def _append_log_entry(self, home_id: int, line_addr: int, old_value: int,
                           at: int, is_commit: bool = False,
-                          log: MemoryLog = None) -> int:
+                          log: MemoryLog = None, span=None) -> int:
         """Write one log record (entry line, then marker) with parity.
 
         Returns the time the log-parity acknowledgment arrives, i.e.
-        when the record is fully safe.
+        when the record is fully safe.  ``span``, when given, receives
+        the log and parity segments; the two overlapping acknowledgment
+        paths (entry parity vs. metadata flush) fold into the span's
+        monotone cursor, so the segment sum still lands exactly on the
+        returned time.
         """
         home = self.machine.nodes[home_id]
         if log is None:
@@ -221,10 +236,15 @@ class ReViveController:
         # Timed path: entry-line write + its parity round trip.
         t = home.mem_timing.access(t, row_hit=True)
         self.stats.memory_traffic.add("LOG", self.config.line_size)
+        if span is not None:
+            span.seg("log", t)
         ack = self.parity.time_update(entry_line, t, sequential=True)
+        if span is not None:
+            span.seg("parity", ack)
 
         log.commit_append(line_addr, is_commit=is_commit, at=t)
-        ack = max(ack, self._maybe_flush_metadata(home_id, t, log))
+        ack = max(ack, self._maybe_flush_metadata(home_id, t, log,
+                                                  span=span))
         self.stats.sample_log_size(at, self.total_log_bytes())
         self._check_log_pressure(log)
         return ack
@@ -238,7 +258,7 @@ class ReViveController:
             self.machine.request_early_checkpoint()
 
     def _maybe_flush_metadata(self, home_id: int, at: int,
-                              log: MemoryLog) -> int:
+                              log: MemoryLog, span=None) -> int:
         """Write-combine metadata words; flush once per full block."""
         self._meta_pending[home_id] += 1
         if self._meta_pending[home_id] < ENTRIES_PER_BLOCK:
@@ -250,4 +270,11 @@ class ReViveController:
         done = home.mem_timing.access(at, row_hit=True)
         self.stats.memory_traffic.add("LOG", self.config.line_size)
         self.stats.counter("revive.metaflush.events").add()
-        return self.parity.time_update(meta_line, done, sequential=True)
+        meta_ack = self.parity.time_update(meta_line, done, sequential=True)
+        if span is not None:
+            # Charged only past the span's cursor: the flush runs in
+            # parallel with the entry-line parity ack recorded by the
+            # caller, and only the excess extends the critical path.
+            span.seg("log", done)
+            span.seg("parity", meta_ack)
+        return meta_ack

@@ -187,6 +187,19 @@ class RecoveryManager:
             + result.phase2_ns + result.phase3_ns
         machine.stats.counter("recovery.count").add()
         machine.stats.counter("recovery.entries_undone").add(entries)
+        spans = machine.spans
+        if spans.enabled:
+            # One machine-wide span per recovery (matching
+            # ``recovery.count``) covering detection through resume.
+            # Phase 4 runs in the background with the machine available,
+            # so it is excluded — same convention as ``unavailable_ns``.
+            sp = spans.begin("recovery", -1, detect_time,
+                             lost_node=lost_node, target_epoch=target_epoch)
+            sp.seg("dir", detect_time + result.phase1_ns)
+            sp.seg("parity", detect_time + result.phase1_ns
+                   + result.phase2_ns)
+            sp.seg("log", result.resume_time)
+            sp.end(result.resume_time)
         if tracer.enabled:
             self._trace_phases(tracer, result)
         return result

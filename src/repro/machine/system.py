@@ -29,6 +29,7 @@ from repro.memory.geomcache import GeometryCache
 from repro.memory.layout import AddressSpace, HybridGeometry, ParityGeometry
 from repro.network.network import Network
 from repro.obs.profiling import Profiler
+from repro.obs.spans import NULL_SPANS, SpanRecorder
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatsRegistry
@@ -57,6 +58,9 @@ class Machine:
         #: Trace sink shared by every component (``NULL_TRACER`` when
         #: tracing is off); install one later with :meth:`install_tracer`.
         self.tracer = NULL_TRACER
+        #: Transaction span recorder (``NULL_SPANS`` when tracing is
+        #: off — every span site guards on ``spans.enabled``).
+        self.spans = NULL_SPANS
         #: Wall-clock profiler (None = profiling off, zero overhead).
         self.profiler = profiler
         self.network = Network(config, self.stats)
@@ -133,6 +137,7 @@ class Machine:
         detach.
         """
         self.tracer = tracer
+        self.spans = SpanRecorder(tracer, metrics=self.stats)
         self.simulator.tracer = tracer
         for node in self.nodes:
             node.directory.tracer = tracer

@@ -56,6 +56,21 @@ class Network:
         return (launch + self.config.net_base_ns
                 + self.config.net_per_hop_ns * len(route))
 
+    def uncontended_latency(self, src: int, dst: int, nbytes: int) -> int:
+        """Table 3 flight time of one message on an idle network.
+
+        ``ni_occupancy + 30ns + 8ns × hops`` with dimension-order
+        minimal-wrap routing — exactly what :meth:`send` returns when
+        neither the NI nor any link is busy.  Span consumers use this
+        as the contention-free floor when attributing a ``net`` segment
+        to queueing versus propagation; tests pin it against
+        hand-computed torus hop counts.
+        """
+        if src == dst:
+            return 0
+        ni_occupancy = max(1, round(nbytes / self.config.ni_bytes_per_ns))
+        return ni_occupancy + self.config.net_latency(src, dst)
+
     def send_control(self, src: int, dst: int, at: int, category: str) -> int:
         """Header-only message (requests, acks, invalidations)."""
         return self.send(src, dst, self.config.header_bytes, at, category)

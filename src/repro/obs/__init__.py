@@ -18,10 +18,16 @@ Built on the tracer's event stream (all in ``docs/OBSERVABILITY.md``):
   streaming run-health state (log watermarks, checkpoint cadence,
   traffic rates, recovery phases) computed in-process, plus the
   :class:`RunLedger` manifest stamping each run.
+* :class:`SpanRecorder` / :class:`Span` — causal per-transaction spans
+  with ordered child segments whose durations sum exactly to the span;
+  :func:`latency_report` turns them into percentile + attribution
+  tables and :func:`chrome_trace` exports them for Perfetto.
 * :mod:`repro.obs.report` — the ``repro report`` dashboard: Figures 8,
-  11, and 12 recomputed from traces + ledgers alone.
+  11, and 12 plus the span latency tables, recomputed from traces +
+  ledgers alone.
 * :func:`lint_trace <repro.obs.lint.lint_file>` — the ``repro
-  trace-lint`` schema validator.
+  trace-lint`` schema validator (including span pairing and
+  segment-sum closure).
 
 Quick start::
 
@@ -36,9 +42,23 @@ Quick start::
 or, without writing Python: ``python -m repro trace lu --out out.jsonl``.
 """
 
-from repro.obs.analysis import category_counts, read_trace, recovery_breakdown
+from repro.obs.analysis import (
+    category_counts,
+    latency_report,
+    read_trace,
+    recovery_breakdown,
+    span_ends,
+    steady_state_span_ends,
+)
+from repro.obs.export import chrome_trace, write_chrome_trace
 from repro.obs.lint import lint_events, lint_file
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LogHistogram,
+    MetricsRegistry,
+)
 from repro.obs.monitor import (
     LEDGER_VERSION,
     CheckpointCadenceMonitor,
@@ -48,12 +68,20 @@ from repro.obs.monitor import (
     MonitorSuite,
     RecoveryMonitor,
     RunLedger,
+    SpanLatencyMonitor,
     TrafficRateMonitor,
     attach_monitors,
     default_monitors,
     read_ledger,
 )
 from repro.obs.profiling import Profiler
+from repro.obs.spans import (
+    NULL_SPANS,
+    SEGMENTS,
+    SPAN_CLASSES,
+    Span,
+    SpanRecorder,
+)
 from repro.obs.tracer import (
     CATEGORIES,
     NULL_TRACER,
@@ -76,8 +104,15 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
     "Profiler",
+    "Span",
+    "SpanRecorder",
+    "NULL_SPANS",
+    "SPAN_CLASSES",
+    "SEGMENTS",
+    "SpanLatencyMonitor",
     "Monitor",
     "MonitorSuite",
     "LogOccupancyMonitor",
@@ -94,4 +129,9 @@ __all__ = [
     "read_trace",
     "category_counts",
     "recovery_breakdown",
+    "span_ends",
+    "steady_state_span_ends",
+    "latency_report",
+    "chrome_trace",
+    "write_chrome_trace",
 ]

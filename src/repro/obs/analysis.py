@@ -6,14 +6,21 @@ reconstructs the Figure 12 recovery-time components purely from
 ``recovery.*`` phase-boundary events plus the ``ckpt.commit`` event of
 the recovery's target epoch, and is the function the worked example in
 ``docs/OBSERVABILITY.md`` (and the acceptance test) checks against
-:class:`repro.core.recovery.RecoveryResult`.
+:class:`repro.core.recovery.RecoveryResult`.  :func:`latency_report`
+does the same for schema-v2 span events: per-class latency percentiles
+and the critical-path attribution table, recomputed from the trace
+alone and cross-checked against the live ``lat.*`` histograms in
+``tests/test_obs_spans.py``.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 from typing import Dict, Iterable, List
+
+from repro.obs.metrics import LogHistogram
 
 
 def read_trace(path: str) -> List[Dict]:
@@ -57,6 +64,76 @@ def category_counts(events: Iterable[Dict]) -> Dict[str, int]:
             cat = "<missing>"
         counts[cat] = counts.get(cat, 0) + 1
     return dict(sorted(counts.items()))
+
+
+def span_ends(events: Iterable[Dict]) -> List[Dict]:
+    """The ``span.end`` events of a trace, in stream order."""
+    return [e for e in events if e.get("name") == "span.end"]
+
+
+def steady_state_span_ends(events: Iterable[Dict]) -> List[Dict]:
+    """``span.end`` events after the last warmup reset.
+
+    ``Machine.note_warmup_done`` resets the ``txn.*`` counters and
+    emits ``sim.warmup_done``; partitioning the stream at that marker
+    (by position, not timestamp — transactions complete synchronously,
+    so no span straddles it) makes per-class span counts comparable
+    bit-for-bit with the live steady-state counters.
+    """
+    events = list(events)
+    start = 0
+    for position, event in enumerate(events):
+        if event.get("name") == "sim.warmup_done":
+            start = position + 1
+    return span_ends(events[start:])
+
+
+def latency_report(events: Iterable[Dict]) -> Dict[str, Dict]:
+    """Per-class latency percentiles + critical-path attribution.
+
+    Recomputed purely from ``span.end`` events.  For every span class
+    present the report carries the :class:`LogHistogram` summary
+    (count / mean / max / p50 / p90 / p99 / p999, upper-edge
+    convention) plus two attribution tables mapping segment kinds to
+    their share of span time:
+
+    * ``attribution`` — over *all* spans of the class, and
+    * ``tail_attribution`` — over the slowest 1% (at least one span),
+      which is what sentences like "read-miss p99 is 62% directory
+      occupancy" are about.
+
+    Tail selection orders by ``(-dur_ns, txn)``, so the report is
+    byte-deterministic for a deterministic trace — serial and parallel
+    sweeps of the same jobs agree exactly.
+    """
+    by_class: Dict[str, List[Dict]] = {}
+    for event in span_ends(events):
+        by_class.setdefault(event["class"], []).append(event)
+
+    def _shares(spans: List[Dict]) -> Dict[str, float]:
+        totals: Dict[str, int] = {}
+        for span in spans:
+            for kind, dur in span["segs"]:
+                totals[kind] = totals.get(kind, 0) + dur
+        grand = sum(totals.values())
+        if not grand:
+            return {}
+        return {kind: totals[kind] / grand
+                for kind in sorted(totals)}
+
+    classes: Dict[str, Dict] = {}
+    for cls, spans in sorted(by_class.items()):
+        histogram = LogHistogram("lat." + cls)
+        for span in spans:
+            histogram.record(span["dur_ns"])
+        tail_n = max(1, math.ceil(len(spans) / 100))
+        tail = sorted(spans,
+                      key=lambda s: (-s["dur_ns"], s["txn"]))[:tail_n]
+        classes[cls] = dict(histogram.summary(),
+                            attribution=_shares(spans),
+                            tail_attribution=_shares(tail))
+    return {"classes": classes,
+            "total_spans": sum(len(s) for s in by_class.values())}
 
 
 def recovery_breakdown(events: Iterable[Dict]) -> Dict[str, int]:

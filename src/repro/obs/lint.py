@@ -17,12 +17,13 @@ import os
 from typing import Dict, Iterable, List, Tuple
 
 from repro.obs.analysis import read_trace
+from repro.obs.spans import SEGMENTS, SPAN_CLASSES
 from repro.obs.tracer import CATEGORIES, SCHEMA_VERSION
 
 #: The envelope every event must carry (tracer.py's contract).
 ENVELOPE_KEYS = ("v", "seq", "ts", "cat", "name")
 
-#: Required event-specific fields per known event name (schema v1).
+#: Required event-specific fields per known event name (schema v2).
 #: Fields may be *added* within a version, so extra keys never fail
 #: lint; missing required keys do.
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -47,7 +48,65 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "recovery.phase_end": ("phase", "dur_ns"),
     "recovery.end": ("target_epoch", "lost_work_ns", "entries_undone",
                      "resume_time"),
+    "span.begin": ("txn", "class", "node"),
+    "span.end": ("txn", "class", "node", "dur_ns", "segs"),
 }
+
+
+def _lint_span(event: Dict, where: str, open_spans: Dict,
+               problems: List[str]) -> None:
+    """Stateful span checks: pairing, class identity, segment closure."""
+    txn, cls = event.get("txn"), event.get("class")
+    if cls is not None and cls not in SPAN_CLASSES:
+        problems.append(
+            f"{where}: unknown span class {cls!r} "
+            f"(known: {', '.join(SPAN_CLASSES)})")
+    if not isinstance(txn, int):
+        problems.append(f"{where}: span txn {txn!r} is not an integer")
+        return
+    if event["name"] == "span.begin":
+        if txn in open_spans:
+            problems.append(f"{where}: span.begin for already-open txn {txn}")
+        open_spans[txn] = event
+        return
+    begin = open_spans.pop(txn, None)
+    if begin is None:
+        problems.append(
+            f"{where}: span.end for txn {txn} without a span.begin")
+        return
+    if cls != begin.get("class"):
+        problems.append(
+            f"{where}: span.end class {cls!r} does not match "
+            f"span.begin class {begin.get('class')!r} (txn {txn})")
+    dur, segs = event.get("dur_ns"), event.get("segs")
+    if not isinstance(dur, int) or dur < 0:
+        problems.append(
+            f"{where}: span dur_ns {dur!r} is not a non-negative integer")
+        return
+    if isinstance(begin.get("ts"), int) and event["ts"] - begin["ts"] != dur:
+        problems.append(
+            f"{where}: span dur_ns {dur} != end ts - begin ts "
+            f"({event['ts']} - {begin['ts']}) for txn {txn}")
+    if not isinstance(segs, list):
+        problems.append(f"{where}: span segs {segs!r} is not a list")
+        return
+    total = 0
+    for seg in segs:
+        if (not isinstance(seg, (list, tuple)) or len(seg) != 2
+                or not isinstance(seg[1], int) or seg[1] < 0):
+            problems.append(
+                f"{where}: malformed segment {seg!r} (want [kind, dur_ns])")
+            return
+        kind, seg_dur = seg
+        if kind not in SEGMENTS:
+            problems.append(
+                f"{where}: unknown segment kind {kind!r} "
+                f"(known: {', '.join(SEGMENTS)})")
+        total += seg_dur
+    if total != dur:
+        problems.append(
+            f"{where}: segments sum to {total} but span dur_ns is {dur} "
+            f"(txn {txn})")
 
 
 def lint_events(events: Iterable[Dict],
@@ -61,9 +120,17 @@ def lint_events(events: Iterable[Dict],
     their required fields (:data:`EVENT_FIELDS`).  Unknown names in a
     known category are flagged too — they usually mean a version skew
     between writer and reader.
+
+    ``span`` events additionally get stateful checks: every
+    ``span.end`` must match an open ``span.begin`` with the same
+    ``txn`` and class, its ``dur_ns`` must equal the timestamp
+    difference, its segment kinds must be known, and the segment
+    durations must sum exactly to ``dur_ns`` (the closure invariant).
+    Spans still open at end-of-stream are flagged.
     """
     problems: List[str] = []
     last_seq = None
+    open_spans: Dict = {}
     for position, event in enumerate(events):
         where = f"{source}:{position}"
         if not isinstance(event, dict):
@@ -111,6 +178,12 @@ def lint_events(events: Iterable[Dict],
         if absent:
             problems.append(
                 f"{where}: {name} missing required fields {absent}")
+            continue
+        if cat == "span":
+            _lint_span(event, where, open_spans, problems)
+    for txn in sorted(open_spans):
+        problems.append(
+            f"{source}: span.begin for txn {txn} has no matching span.end")
     return problems
 
 

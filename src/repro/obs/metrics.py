@@ -141,6 +141,122 @@ class Histogram:
         self.max_value = 0
 
 
+class LogHistogram:
+    """Log-spaced histogram with bounded *relative* bucket error.
+
+    Latencies span several orders of magnitude (an L2 upgrade is tens
+    of nanoseconds, a checkpoint flush is tens of microseconds), so
+    fixed-width buckets either blur the short transactions or explode
+    in bucket count.  This histogram uses 16 sub-buckets per octave
+    (HdrHistogram-style): values below 16 are exact, and above that a
+    value ``v`` with ``e = v.bit_length() - 5`` lands in bucket
+    ``16*e + (v >> e)``, giving ≤ 6.25% relative width everywhere.
+
+    Percentiles report the bucket's **upper** edge (capped at the true
+    maximum), so tails are never understated — the dual of
+    :class:`Histogram`, whose lower-edge convention can hide a slow
+    bucket's worst case.  See ``test_obs_metrics.py`` for the
+    side-by-side behavioral contrast.
+    """
+
+    #: Sub-buckets per octave; values < _SUBBUCKETS are bucketed exactly.
+    _SUBBUCKETS = 16
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+
+    @staticmethod
+    def _index(value: int) -> int:
+        if value < LogHistogram._SUBBUCKETS:
+            return value
+        e = value.bit_length() - 5
+        return LogHistogram._SUBBUCKETS * e + (value >> e)
+
+    @staticmethod
+    def _upper_edge(index: int) -> int:
+        sub = LogHistogram._SUBBUCKETS
+        if index < sub:
+            return index
+        # index = sub*e + m with m in [sub, 2*sub); invert, then the
+        # bucket holds v with v >> e == m, whose top value is
+        # ((m+1) << e) - 1.
+        q, r = divmod(index, sub)
+        e, m = q - 1, sub + r
+        return ((m + 1) << e) - 1
+
+    def record(self, value: int) -> None:
+        """Record one non-negative integer sample."""
+        if value < 0:
+            raise ValueError("LogHistogram records non-negative values only")
+        index = self._index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded samples."""
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[int, int]]:
+        """Sorted ``(bucket_upper_edge, count)`` pairs."""
+        return [(self._upper_edge(i), n)
+                for i, n in sorted(self._buckets.items())]
+
+    def percentile(self, p: float) -> float:
+        """Upper edge of the bucket holding the ``p``-th percentile.
+
+        Capped at the observed maximum so p100 is exact; never
+        understates (relative overstatement is bounded by the ≤ 6.25%
+        bucket width).  An empty histogram reports 0.0.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(p / 100.0 * self.count))
+        cumulative = 0
+        for index, n in sorted(self._buckets.items()):
+            cumulative += n
+            if cumulative >= target:
+                return float(min(self._upper_edge(index), self.max_value))
+        return float(self.max_value)  # pragma: no cover - unreachable
+
+    def summary(self) -> Dict[str, float]:
+        """Count/mean/max plus the p50/p90/p99/p999 quantiles."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max_value,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+        }
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other``'s samples into this histogram."""
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+
+    def reset(self) -> None:
+        """Reset to the freshly-constructed state."""
+        self._buckets.clear()
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+
+
 class MetricsRegistry:
     """Named counters, gauges, and histograms for one simulation run.
 
@@ -154,12 +270,14 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._log_histograms: Dict[str, LogHistogram] = {}
 
     # -- get-or-create accessors -----------------------------------------
 
     def _check_kind(self, name: str, want: str) -> None:
         kinds = (("counter", self._counters), ("gauge", self._gauges),
-                 ("histogram", self._histograms))
+                 ("histogram", self._histograms),
+                 ("log_histogram", self._log_histograms))
         for kind, table in kinds:
             if kind != want and name in table:
                 raise ValueError(
@@ -196,6 +314,15 @@ class MetricsRegistry:
             self._histograms[name] = histogram
         return histogram
 
+    def log_histogram(self, name: str) -> LogHistogram:
+        """Get or create the log-spaced histogram called ``name``."""
+        histogram = self._log_histograms.get(name)
+        if histogram is None:
+            self._check_kind(name, "log_histogram")
+            histogram = LogHistogram(name)
+            self._log_histograms[name] = histogram
+        return histogram
+
     # -- legacy-compatible views -------------------------------------------
 
     def counters(self) -> Iterable[Counter]:
@@ -209,6 +336,10 @@ class MetricsRegistry:
     def histograms(self) -> Iterable[Histogram]:
         """Iterate over all histograms."""
         return self._histograms.values()
+
+    def log_histograms(self) -> Iterable[LogHistogram]:
+        """Iterate over all log-spaced histograms."""
+        return self._log_histograms.values()
 
     def value(self, name: str) -> int:
         """Current value of a counter (0 when absent)."""
@@ -225,17 +356,25 @@ class MetricsRegistry:
         return {name: c.value for name, c in sorted(self._counters.items())}
 
     def full_snapshot(self) -> Dict[str, Dict]:
-        """Every metric, grouped by kind (counters/gauges/histograms)."""
+        """Every metric, grouped by kind (counters/gauges/histograms).
+
+        Linear and log-spaced histograms share one namespace, so both
+        report under the ``histograms`` key.
+        """
+        histograms = {name: h.summary()
+                      for name, h in sorted(self._histograms.items())}
+        histograms.update((name, h.summary())
+                          for name, h in sorted(self._log_histograms.items()))
         return {
             "counters": self.snapshot(),
             "gauges": {name: {"value": g.value, "max": g.max_value}
                        for name, g in sorted(self._gauges.items())},
-            "histograms": {name: h.summary()
-                           for name, h in sorted(self._histograms.items())},
+            "histograms": dict(sorted(histograms.items())),
         }
 
     def reset_all(self) -> None:
         """Reset every registered metric in place (names survive)."""
-        for table in (self._counters, self._gauges, self._histograms):
+        for table in (self._counters, self._gauges, self._histograms,
+                      self._log_histograms):
             for metric in table.values():
                 metric.reset()

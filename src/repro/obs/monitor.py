@@ -18,6 +18,9 @@ O(1)-per-event health state:
   in-flight recovery completed.
 * :class:`MemTrafficMonitor` — per-node L1/L2 hit/miss and
   remote-reference totals from the fast path's ``mem.batch`` events.
+* :class:`SpanLatencyMonitor` — streaming per-class transaction
+  latency digests from ``span.end`` events (schema v2), with optional
+  tail-latency high-water alerts.
 
 Monitors deliberately mirror the simulator's warmup semantics: the
 ``sim.warmup_done`` event resets the same state the machine resets
@@ -53,6 +56,7 @@ import hashlib
 import json
 from typing import Dict, List, Optional
 
+from repro.obs.metrics import LogHistogram
 from repro.obs.tracer import SCHEMA_VERSION, Tracer
 
 #: Version of the ledger manifest layout (bumped on incompatible change).
@@ -422,8 +426,66 @@ class MemTrafficMonitor(Monitor):
         }
 
 
+class SpanLatencyMonitor(Monitor):
+    """Streaming per-class transaction-latency digests with tail alerts.
+
+    Consumes ``span.end`` events (schema v2) into one
+    :class:`~repro.obs.metrics.LogHistogram` per span class — the same
+    histogram type the machine feeds live through its
+    :class:`~repro.obs.spans.SpanRecorder` — so the final digests equal
+    the live ``lat.*`` summaries bit-for-bit (pinned by
+    ``tests/test_obs_monitor.py``).  Deliberately *not* reset at
+    ``sim.warmup_done``: the live latency histograms are never reset
+    either (unlike the ``txn.*`` counters), and warmup transactions are
+    real latency samples.
+
+    ``high_water_ns`` maps span classes to latency ceilings; a span of
+    that class exceeding its ceiling records one alert (class, txn,
+    ts, dur_ns) and makes the verdict unhealthy.  ``max_alerts`` bounds
+    the retained list so a pathological run cannot balloon the ledger;
+    ``alerts_total`` keeps the true count.
+    """
+
+    name = "span_latency"
+
+    def __init__(self, high_water_ns: Optional[Dict[str, int]] = None,
+                 max_alerts: int = 32) -> None:
+        self.high_water_ns = dict(high_water_ns or {})
+        self.max_alerts = max_alerts
+        self.by_class: Dict[str, LogHistogram] = {}
+        self.alerts: List[Dict] = []
+        self.alerts_total = 0
+
+    def observe(self, event: Dict) -> None:
+        if event.get("name") != "span.end":
+            return
+        cls = event["class"]
+        histogram = self.by_class.get(cls)
+        if histogram is None:
+            histogram = self.by_class[cls] = LogHistogram("lat." + cls)
+        dur = event["dur_ns"]
+        histogram.record(dur)
+        ceiling = self.high_water_ns.get(cls)
+        if ceiling is not None and dur > ceiling:
+            self.alerts_total += 1
+            if len(self.alerts) < self.max_alerts:
+                self.alerts.append({"class": cls, "txn": event["txn"],
+                                    "ts": event["ts"], "dur_ns": dur})
+
+    def verdict(self) -> Dict:
+        return {
+            "healthy": self.alerts_total == 0,
+            "classes": {cls: histogram.summary() for cls, histogram
+                        in sorted(self.by_class.items())},
+            "high_water_ns": dict(sorted(self.high_water_ns.items())),
+            "alerts": list(self.alerts),
+            "alerts_total": self.alerts_total,
+        }
+
+
 def default_monitors(interval_ns: Optional[int] = None,
                      log_capacity_bytes: Optional[int] = None,
+                     span_high_water_ns: Optional[Dict[str, int]] = None,
                      ) -> List[Monitor]:
     """The standard monitor set for one run, sized from its config."""
     return [
@@ -432,6 +494,7 @@ def default_monitors(interval_ns: Optional[int] = None,
         TrafficRateMonitor(),
         RecoveryMonitor(),
         MemTrafficMonitor(),
+        SpanLatencyMonitor(high_water_ns=span_high_water_ns),
     ]
 
 

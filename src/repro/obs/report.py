@@ -14,6 +14,10 @@ exhibits from them:
   ``max_bytes_used`` statistic).
 * **Figure 12** — the recovery-phase breakdown via
   :func:`repro.obs.analysis.recovery_breakdown`.
+* **Transaction latency** — per-class p50/p90/p99/p999 percentiles and
+  critical-path attribution from schema-v2 span events
+  (:func:`repro.obs.analysis.latency_report`), cross-checked against
+  live ``lat.*`` histograms in ``tests/test_obs_report.py``.
 
 Stream statistics are computed by *replaying* the trace through the
 same monitors a live run uses (:mod:`repro.obs.monitor`), so on-line
@@ -30,8 +34,8 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs.analysis import category_counts, read_trace, \
-    recovery_breakdown
+from repro.obs.analysis import category_counts, latency_report, \
+    read_trace, recovery_breakdown
 from repro.obs.monitor import MonitorSuite, default_monitors, read_ledger
 from repro.obs.tracer import SCHEMA_VERSION
 
@@ -206,12 +210,14 @@ def build_report(runs: List[Dict]) -> Dict:
         except ValueError:
             recovery = None
         verdicts = suite.verdicts()
+        latency = latency_report(events)
         report_runs.append({
             "name": run["name"],
             "events": len(events),
             "categories": category_counts(events),
             "log_occupancy": log_occupancy(events),
             "recovery": recovery,
+            "latency": latency if latency["total_spans"] else None,
             "verdicts": verdicts,
             "healthy": all(v.get("healthy", True)
                            for v in verdicts.values()),
@@ -240,6 +246,47 @@ _RECOVERY_LABELS = (
     ("rollback", "3: rollback"),
     ("background_repair", "4: background repair"),
 )
+
+
+def render_latency(latency: Dict) -> str:
+    """Render one latency report (the ``repro latency`` table pair).
+
+    First table: per-class count, mean, p50/p90/p99/p999, max (all in
+    nanoseconds, upper-edge percentile convention).  Second table: the
+    critical-path attribution — each segment kind's share of span time
+    over all spans and over the slowest 1% — which supports statements
+    like "read-miss p99 is 62% directory occupancy".
+    """
+    from repro.harness.reporting import format_table
+
+    classes = latency.get("classes", {})
+    if not classes:
+        return "latency: no span events (trace spans with schema v2)"
+    rows = [[cls, s["count"], f"{s['mean']:.1f}",
+             f"{s['p50']:.0f}", f"{s['p90']:.0f}", f"{s['p99']:.0f}",
+             f"{s['p999']:.0f}", s["max"]]
+            for cls, s in classes.items()]
+    sections = [format_table(
+        ["Class", "Count", "Mean", "p50", "p90", "p99", "p999", "Max"],
+        rows, title="transaction latency (ns, from spans)")]
+
+    seg_order: List[str] = []
+    for summary in classes.values():
+        for kind in summary["attribution"]:
+            if kind not in seg_order:
+                seg_order.append(kind)
+    attribution_rows = []
+    for cls, summary in classes.items():
+        for label, table in (("all", summary["attribution"]),
+                             ("tail 1%", summary["tail_attribution"])):
+            attribution_rows.append(
+                [cls, label] + [(f"{100 * table[kind]:.1f}%"
+                                 if kind in table else "—")
+                                for kind in seg_order])
+    sections.append(format_table(
+        ["Class", "Spans", *seg_order], attribution_rows,
+        title="critical-path attribution (share of span time)"))
+    return "\n".join(sections)
 
 
 def render_report(report: Dict) -> str:
@@ -304,6 +351,9 @@ def render_report(report: Dict) -> str:
                 + (f", L2 hit {100 * l2:.1f}%" if l2 is not None else "")
                 + (f", remote {100 * rem:.2f}%" if rem is not None
                    else ""))
+
+        if run.get("latency"):
+            lines.append(render_latency(run["latency"]))
 
         if run["recovery"] is not None:
             rows = [[label, f"{run['recovery'][key] / 1e3:.1f}"]

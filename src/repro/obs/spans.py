@@ -1,0 +1,157 @@
+"""Transaction-level causal spans over the event tracer (schema v2).
+
+A *span* is one end-to-end coherence transaction — a read miss, a
+write miss, an upgrade, a write-back, one sharer invalidation, a
+global checkpoint, or a recovery — identified by a monotonically
+allocated ``txn`` id and carrying an ordered list of child *segments*
+that attribute every nanosecond of the span to the resource it was
+spent on (directory occupancy, DRAM reads/writes, network transfer,
+log append, parity round-trip).
+
+Two invariants make spans trustworthy rather than decorative, and
+both are pinned by tests and enforced by ``repro trace-lint``:
+
+* **Segment-sum closure** — the segment durations of every span sum
+  *exactly* to the span's duration.  :class:`Span` guarantees this by
+  construction: segments are recorded against a monotone time cursor
+  (``seg(kind, end_ts)`` charges ``end_ts - cursor`` to ``kind``), and
+  the span ends at the cursor's final position.  Overlapping resource
+  walks (a parity acknowledgment racing a metadata flush) fold into
+  the monotone envelope, so joins never double-count.
+* **Counter reconciliation** — per-class span counts equal the
+  simulator's own transaction counters bit-for-bit:
+  ``read_miss``/``write_miss``/``upgrade``/``writeback``/
+  ``invalidation`` match ``txn.*``, ``ckpt`` matches ``ckpt.count``,
+  ``recovery`` matches ``recovery.count``.  Replacement *hints*
+  (``txn.hint``) move no data and get no span, by design.
+
+Work that is deliberately **off the requester's critical path** — the
+store-intent log append of Figure 5(a), the sharing write-back behind
+a 3-hop read, the per-node checkpoint commit records — is *not*
+charged to the enclosing span: the protocol simply does not hand those
+calls the span object, so their time shows up (correctly) only in the
+directory busy-time it induces, never in end-to-end latency.
+
+Zero cost when off: components reach the recorder through
+``machine.spans``, which defaults to :data:`NULL_SPANS` (``enabled``
+is ``False``); every instrumentation site guards with
+``if spans.enabled:`` and the disabled path never allocates a span.
+When a tracer is installed, span ``begin``/``end`` events flow through
+it under the ``span`` category, and closed spans additionally feed the
+machine's per-class latency histograms
+(``stats.log_histogram("lat.<class>")``) for live percentile digests.
+
+Event shapes (documented in docs/OBSERVABILITY.md)::
+
+    {"cat": "span", "name": "span.begin", "txn": 17, "class":
+     "read_miss", "node": 3, ...}
+    {"cat": "span", "name": "span.end", "txn": 17, "class":
+     "read_miss", "node": 3, "dur_ns": 183, "segs":
+     [["net", 40], ["dir", 21], ["mem_read", 60], ["net", 62]]}
+
+``node`` is the transaction's subject (the requester for coherence
+transactions, the invalidated sharer for invalidations); machine-wide
+spans (``ckpt``, ``recovery``) use ``node == -1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+#: Span classes, reconciled 1:1 against simulator counters
+#: (``txn.read_miss`` ... ``txn.invalidation``, ``ckpt.count``,
+#: ``recovery.count``).
+SPAN_CLASSES = ("read_miss", "write_miss", "upgrade", "writeback",
+                "invalidation", "ckpt", "recovery")
+
+#: Segment kinds a span's duration decomposes into.
+SEGMENTS = ("dir", "mem_read", "mem_write", "net", "log", "parity")
+
+
+class Span:
+    """One open transaction: a begin time, a cursor, and its segments.
+
+    ``seg(kind, end_ts)`` attributes the simulated time between the
+    cursor and ``end_ts`` to ``kind`` and advances the cursor;
+    recording a point that does not move time forward (a local
+    network hop, a background acknowledgment already covered) is a
+    no-op, which is what keeps the segment sum equal to the span
+    duration with no special-casing at the instrumentation sites.
+    Consecutive same-kind segments merge.
+    """
+
+    __slots__ = ("recorder", "txn", "cls", "node", "begin_ts", "cursor",
+                 "segs")
+
+    def __init__(self, recorder: "SpanRecorder", txn: int, cls: str,
+                 node: int, begin_ts: int) -> None:
+        self.recorder = recorder
+        self.txn = txn
+        self.cls = cls
+        self.node = node
+        self.begin_ts = begin_ts
+        self.cursor = begin_ts
+        self.segs = []           # [[kind, dur_ns], ...] in time order
+
+    def seg(self, kind: str, end_ts: int) -> None:
+        """Charge the time from the cursor up to ``end_ts`` to ``kind``."""
+        dur = end_ts - self.cursor
+        if dur <= 0:
+            return
+        segs = self.segs
+        if segs and segs[-1][0] == kind:
+            segs[-1][1] += dur
+        else:
+            segs.append([kind, dur])
+        self.cursor = end_ts
+
+    def end(self, at: Optional[int] = None) -> None:
+        """Close the span (defaults to the cursor, guaranteeing closure)."""
+        self.recorder._end(self, self.cursor if at is None else at)
+
+
+class SpanRecorder:
+    """Allocates txn ids and emits ``span.begin``/``span.end`` events.
+
+    ``enabled`` is resolved once at construction from the tracer's
+    state and category filter, so instrumentation sites pay a single
+    attribute read when spans are off.  Txn ids are per-machine and
+    allocated in execution order — a deterministic simulation yields
+    identical ids (and identical traces) on every run, serial or
+    parallel.
+    """
+
+    __slots__ = ("tracer", "metrics", "enabled", "next_txn")
+
+    def __init__(self, tracer: Tracer, metrics=None) -> None:
+        self.tracer = tracer
+        #: A :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        #: per-class ``lat.<class>`` log-histogram samples (or None).
+        self.metrics = metrics
+        self.enabled = bool(
+            tracer is not None and tracer.enabled
+            and (tracer.categories is None or "span" in tracer.categories))
+        self.next_txn = 0
+
+    def begin(self, cls: str, node: int, at: int, **fields) -> Span:
+        """Open a span of class ``cls`` at simulated time ``at``."""
+        txn = self.next_txn
+        self.next_txn = txn + 1
+        self.tracer.emit(at, "span", "span.begin", txn=txn, node=node,
+                         **{"class": cls}, **fields)
+        return Span(self, txn, cls, node, at)
+
+    def _end(self, span: Span, at: int) -> None:
+        dur = at - span.begin_ts
+        self.tracer.emit(at, "span", "span.end", txn=span.txn,
+                         node=span.node, **{"class": span.cls},
+                         dur_ns=dur, segs=[list(s) for s in span.segs])
+        if self.metrics is not None:
+            self.metrics.log_histogram("lat." + span.cls).record(dur)
+
+
+#: Shared disabled recorder: the default ``spans`` attribute of every
+#: machine.  Its ``enabled`` is always ``False``.
+NULL_SPANS = SpanRecorder(NULL_TRACER)

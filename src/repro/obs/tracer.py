@@ -4,7 +4,7 @@ A :class:`Tracer` turns instrumentation points scattered through the
 simulator into a single ordered stream of JSON-serialisable event
 dicts.  Every event carries the same envelope::
 
-    {"v": 1, "seq": 0, "ts": 125000, "cat": "ckpt", "name": "ckpt.begin",
+    {"v": 2, "seq": 0, "ts": 125000, "cat": "ckpt", "name": "ckpt.begin",
      ...event-specific fields...}
 
 ``v`` is the schema version (:data:`SCHEMA_VERSION`), ``seq`` a
@@ -38,10 +38,12 @@ from typing import Dict, Iterable, List, Optional, Set
 
 #: Version of the trace event schema (the ``v`` field of every event).
 #: Bumped on any backwards-incompatible change; see docs/OBSERVABILITY.md.
-SCHEMA_VERSION = 1
+#: v2 added the ``span`` category (transaction-level causal spans with
+#: segment attribution) — v1 events are unchanged.
+SCHEMA_VERSION = 2
 
 #: The known event categories, in emission-site order.
-CATEGORIES = ("sim", "coh", "mem", "log", "ckpt", "recovery")
+CATEGORIES = ("sim", "coh", "mem", "log", "ckpt", "recovery", "span")
 
 
 class RingBufferSink:

@@ -154,7 +154,7 @@ class TestMonitoringCommands:
         assert manifest["result"]["execution_time_ns"] > 0
         assert set(manifest["verdicts"]) == {
             "log_occupancy", "checkpoint_cadence", "traffic_rate",
-            "recovery", "mem_traffic"}
+            "recovery", "mem_traffic", "span_latency"}
 
     def test_sweep_trace_dir_then_report_and_lint(self, tmp_path, capsys):
         trace_dir = str(tmp_path / "traces")
@@ -184,6 +184,54 @@ class TestMonitoringCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert out.count("schema-clean") == len(traces) == 2
+
+    def test_latency_and_export_trace_roundtrip(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        assert main(["run", "lu", "--scale", "0.05", "--nodes", "4",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+
+        # repro latency: percentile + attribution tables from spans.
+        report_json = str(tmp_path / "lat.json")
+        rc = main(["latency", trace, "--json", report_json])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "transaction latency" in out
+        assert "critical-path attribution" in out
+        assert "read_miss" in out and "p999" in out
+        import json
+        report = json.loads(open(report_json, encoding="utf-8").read())
+        assert report["run"]["total_spans"] > 0
+        assert "read_miss" in report["run"]["classes"]
+
+        # repro export-trace: default out path, loadable JSON.
+        rc = main(["export-trace", trace])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "perfetto" in out
+        chrome = str(tmp_path / "run.chrome.json")
+        assert f"in {chrome}" in out
+        loaded = json.loads(open(chrome, encoding="utf-8").read())
+        assert loaded["traceEvents"]
+        phases = {e["ph"] for e in loaded["traceEvents"]}
+        assert {"X", "i", "M"} <= phases
+
+        # --spans-only --out: no instants, explicit path.
+        spans_only = str(tmp_path / "spans.json")
+        rc = main(["export-trace", trace, "--out", spans_only,
+                   "--spans-only"])
+        capsys.readouterr()
+        assert rc == 0
+        loaded = json.loads(open(spans_only, encoding="utf-8").read())
+        assert all(e["ph"] in ("X", "M") for e in loaded["traceEvents"])
+
+    def test_latency_missing_trace_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["latency", str(tmp_path / "nope.jsonl")])
+
+    def test_export_trace_missing_trace_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no trace"):
+            main(["export-trace", str(tmp_path / "nope.jsonl")])
 
     def test_trace_lint_flags_bad_trace(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"

@@ -1,0 +1,134 @@
+"""Chrome Trace Event export: structural validation for Perfetto.
+
+``repro export-trace`` output must be loadable by Perfetto /
+``chrome://tracing``: a single JSON object with a ``traceEvents``
+array of "X" (complete), "i" (instant), and "M" (metadata) records.
+Structure is validated here both on synthetic streams (exact slice
+arithmetic) and on a real traced machine (every span nests its
+segments end-to-end on the right track).
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import build_tiny_machine
+
+from repro.obs import (
+    RingBufferSink,
+    Tracer,
+    chrome_trace,
+    write_chrome_trace,
+)
+
+SPAN_END = {
+    "v": 2, "seq": 5, "ts": 300, "cat": "span", "name": "span.end",
+    "txn": 7, "class": "read_miss", "node": 2, "dur_ns": 180,
+    "segs": [["net", 40], ["dir", 21], ["mem_read", 60], ["net", 59]],
+}
+SPAN_BEGIN = {
+    "v": 2, "seq": 4, "ts": 120, "cat": "span", "name": "span.begin",
+    "txn": 7, "class": "read_miss", "node": 2,
+}
+INSTANT = {
+    "v": 2, "seq": 6, "ts": 500, "cat": "ckpt", "name": "ckpt.begin",
+    "epoch": 1,
+}
+
+
+class TestChromeTraceSynthetic:
+    def test_span_becomes_slice_with_nested_segments(self):
+        trace = chrome_trace([SPAN_BEGIN, SPAN_END])
+        assert trace["displayTimeUnit"] == "ns"
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        top = [s for s in slices if s["cat"] == "span"]
+        segments = [s for s in slices if s["cat"] == "segment"]
+        assert len(top) == 1 and len(segments) == 4
+        span = top[0]
+        assert span["name"] == "read_miss"
+        assert span["pid"] == 2 and span["tid"] == 0
+        assert span["ts"] == (300 - 180) / 1000.0
+        assert span["dur"] == 180 / 1000.0
+        assert span["args"]["txn"] == 7
+        # Segments tile the span exactly, end to end.
+        cursor = span["ts"]
+        for segment, (kind, dur) in zip(segments, SPAN_END["segs"]):
+            assert segment["name"] == kind
+            assert segment["pid"] == 2
+            assert segment["ts"] == cursor
+            assert segment["dur"] == dur / 1000.0
+            assert segment["args"] == {"txn": 7, "dur_ns": dur}
+            cursor += dur / 1000.0
+        assert cursor == span["ts"] + span["dur"]
+
+    def test_span_begin_emits_no_slice(self):
+        trace = chrome_trace([SPAN_BEGIN])
+        assert [e["ph"] for e in trace["traceEvents"]] == []
+
+    def test_point_events_become_instants(self):
+        trace = chrome_trace([INSTANT])
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        inst = instants[0]
+        assert inst["name"] == "ckpt.begin"
+        assert inst["s"] == "p"
+        assert inst["ts"] == 0.5
+        assert inst["pid"] == -1           # no node: machine track
+        assert inst["args"]["epoch"] == 1
+
+    def test_include_instants_false_exports_spans_only(self):
+        trace = chrome_trace([SPAN_BEGIN, SPAN_END, INSTANT],
+                             include_instants=False)
+        assert all(e["ph"] in ("X", "M") for e in trace["traceEvents"])
+
+    def test_process_metadata_names_every_track(self):
+        machine_span = dict(SPAN_END, node=-1, **{"class": "ckpt"})
+        trace = chrome_trace([SPAN_END, machine_span, INSTANT])
+        meta = {e["pid"]: e["args"]["name"]
+                for e in trace["traceEvents"] if e["ph"] == "M"}
+        assert meta == {-1: "machine", 2: "node 2"}
+        assert all(e["name"] == "process_name"
+                   for e in trace["traceEvents"] if e["ph"] == "M")
+
+
+class TestChromeTraceLiveRun:
+    def run_one_miss(self):
+        sink = RingBufferSink()
+        machine = build_tiny_machine()
+        machine.install_tracer(Tracer(sink))
+        addr = next(a for a in range(0, 1 << 20, machine.config.line_size)
+                    if machine.geom_cache.home_node(a) != 0)
+        machine.protocol.read(0, addr, at=0)
+        return sink.events()
+
+    def test_live_trace_spans_nest_exactly(self):
+        trace = chrome_trace(self.run_one_miss())
+        spans = [e for e in trace["traceEvents"]
+                 if e["ph"] == "X" and e["cat"] == "span"]
+        segments = [e for e in trace["traceEvents"]
+                    if e["ph"] == "X" and e["cat"] == "segment"]
+        assert spans and segments
+        for span in spans:
+            own = [s for s in segments
+                   if s["args"]["txn"] == span["args"]["txn"]]
+            assert own[0]["ts"] == span["ts"]
+            assert sum(s["dur"] for s in own) == span["dur"]
+            assert {s["pid"] for s in own} == {span["pid"]}
+
+    def test_output_is_json_serializable(self, tmp_path):
+        events = self.run_one_miss()
+        path = str(tmp_path / "out.chrome.json")
+        n = write_chrome_trace(events, path)
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert isinstance(loaded["traceEvents"], list)
+        assert len(loaded["traceEvents"]) == n
+        assert loaded == chrome_trace(events)
+
+    def test_write_spans_only(self, tmp_path):
+        events = self.run_one_miss()
+        path = str(tmp_path / "spans.chrome.json")
+        write_chrome_trace(events, path, include_instants=False)
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert all(e["ph"] in ("X", "M") for e in loaded["traceEvents"])

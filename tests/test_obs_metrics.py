@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.metrics import (Counter, Gauge, Histogram, LogHistogram,
+                               MetricsRegistry)
 from repro.sim.stats import StatsRegistry
 from tests.conftest import ToyWorkload, build_tiny_machine
 
@@ -75,6 +76,90 @@ class TestHistogram:
             hist.percentile(101)
 
 
+class TestLogHistogram:
+    def test_small_values_are_exact(self):
+        histogram = LogHistogram("lat")
+        for v in range(16):
+            histogram.record(v)
+        assert histogram.buckets() == [(v, 1) for v in range(16)]
+        assert histogram.percentile(100) == 15.0
+
+    def test_bucket_relative_width_bounded(self):
+        # Upper edge never overstates a sample by more than one
+        # sub-bucket width (1/16 = 6.25%) anywhere in the range.
+        for v in [16, 17, 100, 1000, 12_345, 10**6, 10**9]:
+            histogram = LogHistogram("lat")
+            histogram.record(v)
+            p99 = histogram.percentile(99)
+            assert v <= p99  # upper edge: never understates...
+            # ...but max-capping makes a single sample exact.
+            assert p99 == v
+            histogram.record(v + 1 if v % 2 else v - 1)
+            assert histogram.percentile(100) <= max(v + 1, v) * 1.0625
+
+    def test_percentiles_report_upper_edges(self):
+        # 100 samples at 1000 and one at 2000: p50 lands in the 1000s
+        # bucket and reports its *upper* edge (> 1000), p999 the max.
+        histogram = LogHistogram("lat")
+        for _ in range(100):
+            histogram.record(1000)
+        histogram.record(2000)
+        assert histogram.percentile(50) >= 1000
+        assert histogram.percentile(50) < 1063  # <= 6.25% over
+        assert histogram.percentile(99.9) == 2000
+
+    def test_lower_edge_vs_upper_edge_tail_contrast(self):
+        # The satellite's motivating defect: a linear Histogram's
+        # lower-edge convention reports a tail *below* the slowest
+        # observed sample, understating it by up to a bucket width;
+        # LogHistogram's upper-edge convention cannot understate.
+        linear = Histogram("lat", bucket_width=1000)
+        logarithmic = LogHistogram("lat")
+        samples = [100] * 99 + [1999]      # worst case sits mid-bucket
+        for v in samples:
+            linear.record(v)
+            logarithmic.record(v)
+        assert max(samples) == 1999
+        assert linear.percentile(99.9) == 1000     # understates by 999
+        assert logarithmic.percentile(99.9) == 1999  # capped at max
+
+    def test_summary_has_p999(self):
+        histogram = LogHistogram("lat")
+        histogram.record(7)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "mean", "max",
+                                "p50", "p90", "p99", "p999"}
+        assert summary["count"] == 1 and summary["p999"] == 7.0
+
+    def test_empty_and_reset(self):
+        histogram = LogHistogram("lat")
+        assert histogram.percentile(99) == 0.0
+        assert histogram.mean == 0.0
+        histogram.record(5)
+        histogram.reset()
+        assert histogram.count == 0 and histogram.buckets() == []
+
+    def test_merge_is_sample_union(self):
+        a, b, union = (LogHistogram("a"), LogHistogram("b"),
+                       LogHistogram("u"))
+        for v in [3, 50, 900]:
+            a.record(v)
+            union.record(v)
+        for v in [7, 50, 40_000]:
+            b.record(v)
+            union.record(v)
+        a.merge(b)
+        assert a.buckets() == union.buckets()
+        assert a.summary() == union.summary()
+
+    def test_rejects_bad_inputs(self):
+        histogram = LogHistogram("lat")
+        with pytest.raises(ValueError):
+            histogram.record(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_instance(self):
         registry = MetricsRegistry()
@@ -103,10 +188,25 @@ class TestMetricsRegistry:
         registry.counter("c").add(1)
         registry.gauge("g").set(5)
         registry.histogram("h").record(2)
+        registry.log_histogram("lat.read_miss").record(80)
         snap = registry.full_snapshot()
         assert snap["counters"] == {"c": 1}
         assert snap["gauges"] == {"g": {"value": 5, "max": 5}}
         assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["lat.read_miss"]["p999"] == 80.0
+
+    def test_log_histogram_get_or_create_and_kind_collision(self):
+        registry = MetricsRegistry()
+        histogram = registry.log_histogram("lat.ckpt")
+        assert registry.log_histogram("lat.ckpt") is histogram
+        with pytest.raises(ValueError):
+            registry.counter("lat.ckpt")
+
+    def test_reset_all_covers_log_histograms(self):
+        registry = MetricsRegistry()
+        registry.log_histogram("lat.x").record(9)
+        registry.reset_all()
+        assert registry.log_histogram("lat.x").count == 0
 
     def test_reset_all_keeps_names(self):
         registry = MetricsRegistry()

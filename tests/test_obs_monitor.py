@@ -24,6 +24,7 @@ from repro.obs import (
     RecoveryMonitor,
     RingBufferSink,
     RunLedger,
+    SpanLatencyMonitor,
     Tracer,
     TrafficRateMonitor,
     attach_monitors,
@@ -68,7 +69,8 @@ class TestMonitorSuite:
         suite = MonitorSuite(default_monitors())
         verdicts = suite.verdicts()
         assert set(verdicts) == {"log_occupancy", "checkpoint_cadence",
-                                 "traffic_rate", "recovery", "mem_traffic"}
+                                 "traffic_rate", "recovery", "mem_traffic",
+                                 "span_latency"}
         assert all("healthy" in v for v in verdicts.values())
         assert suite.healthy
 
@@ -252,6 +254,54 @@ class TestMemTrafficMonitor:
         assert verdict["remote_fraction"] is None
 
 
+class TestSpanLatencyMonitor:
+    def span_end(self, seq, txn, cls, dur, ts=None):
+        return ev(seq, "span.end", ts=dur if ts is None else ts,
+                  txn=txn, node=0, dur_ns=dur,
+                  segs=[["net", dur]], **{"class": cls})
+
+    def test_digests_per_class(self):
+        monitor = SpanLatencyMonitor()
+        monitor.observe(self.span_end(0, 0, "read_miss", 100))
+        monitor.observe(self.span_end(1, 1, "read_miss", 200))
+        monitor.observe(self.span_end(2, 2, "writeback", 50))
+        verdict = monitor.verdict()
+        assert verdict["healthy"]
+        assert verdict["classes"]["read_miss"]["count"] == 2
+        assert verdict["classes"]["writeback"]["max"] == 50
+        assert list(verdict["classes"]) == ["read_miss", "writeback"]
+
+    def test_high_water_alert(self):
+        monitor = SpanLatencyMonitor(high_water_ns={"read_miss": 150})
+        monitor.observe(self.span_end(0, 0, "read_miss", 150))  # at limit
+        monitor.observe(self.span_end(1, 1, "read_miss", 151))  # over
+        monitor.observe(self.span_end(2, 2, "writeback", 9999))  # no limit
+        verdict = monitor.verdict()
+        assert not verdict["healthy"]
+        assert verdict["alerts_total"] == 1
+        assert verdict["alerts"] == [{"class": "read_miss", "txn": 1,
+                                      "ts": 151, "dur_ns": 151}]
+
+    def test_alert_list_capped_count_exact(self):
+        monitor = SpanLatencyMonitor(high_water_ns={"upgrade": 0},
+                                     max_alerts=2)
+        for i in range(5):
+            monitor.observe(self.span_end(i, i, "upgrade", 10 + i))
+        verdict = monitor.verdict()
+        assert len(verdict["alerts"]) == 2
+        assert verdict["alerts_total"] == 5
+
+    def test_ignores_non_span_events_and_warmup(self):
+        monitor = SpanLatencyMonitor()
+        monitor.observe(self.span_end(0, 0, "ckpt", 500))
+        monitor.observe(ev(1, "sim.warmup_done", ts=600))
+        monitor.observe(ev(2, "log.append", ts=700, node=0, slot=0,
+                           epoch=1, line=0, commit=False, bytes_used=8))
+        # Latency digests survive the warmup marker (live lat.*
+        # histograms are never reset either).
+        assert monitor.verdict()["classes"]["ckpt"]["count"] == 1
+
+
 class TestLiveRunAgreement:
     """Monitors on a live traced run equal the simulator's own stats."""
 
@@ -299,6 +349,17 @@ class TestLiveRunAgreement:
             assert per_node[proc.node_id]["refs"] == proc.mem_refs
         assert suite.verdicts()["mem_traffic"]["totals"]["refs"] == \
             machine.total_mem_refs()
+
+    def test_span_digests_match_live_histograms_bit_for_bit(
+            self, monitored_run):
+        machine, suite = monitored_run
+        monitor = next(m for m in suite.monitors
+                       if isinstance(m, SpanLatencyMonitor))
+        assert monitor.by_class        # the run produced spans
+        for cls, histogram in monitor.by_class.items():
+            live = machine.stats.log_histogram("lat." + cls)
+            assert histogram.summary() == live.summary(), cls
+            assert histogram.buckets() == live.buckets(), cls
 
     def test_healthy_run_verdicts_are_jsonable(self, monitored_run):
         _machine, suite = monitored_run

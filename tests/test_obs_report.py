@@ -17,13 +17,20 @@ from repro.core.faults import NodeLossFault
 from repro.core.recovery import RecoveryManager
 from repro.harness.parallel import run_sweep
 from repro.machine.config import MachineConfig
-from repro.obs import JsonlFileSink, Tracer, read_trace
+from repro.obs import (
+    JsonlFileSink,
+    Tracer,
+    latency_report,
+    read_trace,
+    span_ends,
+)
 from repro.obs.report import (
     _bucket_curve,
     build_report,
     gather_runs,
     log_occupancy,
     overhead_rows_from_ledgers,
+    render_latency,
     render_report,
 )
 from tests.conftest import ToyWorkload, build_tiny_machine
@@ -178,6 +185,63 @@ class TestOverheadRowsFromLedgers:
         (row,) = overhead_rows_from_ledgers(ledgers)
         assert row == {"app": "lu", "baseline_ns": 100,
                        "cp_parity": 150 / 100 - 1.0}
+
+
+class TestLatencyReport:
+    def test_report_matches_live_histograms_bit_for_bit(self, tmp_path):
+        # The acceptance pin: percentiles recomputed from the trace
+        # alone equal the machine's live ``lat.*`` histograms (which
+        # include warmup — neither side resets).
+        machine, events = traced_toy_run(tmp_path)
+        report = latency_report(events)
+        assert report["total_spans"] == len(span_ends(events)) > 0
+        for cls, digest in report["classes"].items():
+            live = machine.stats.log_histogram("lat." + cls).summary()
+            assert {k: digest[k] for k in live} == live, cls
+
+    def test_attribution_shares_are_normalized(self, tmp_path):
+        from repro.obs import SEGMENTS
+        _machine, events = traced_toy_run(tmp_path)
+        for digest in latency_report(events)["classes"].values():
+            for table in (digest["attribution"],
+                          digest["tail_attribution"]):
+                assert set(table) <= set(SEGMENTS)
+                assert abs(sum(table.values()) - 1.0) < 1e-9
+
+    def test_dashboard_carries_and_renders_the_tables(self, tmp_path):
+        _machine, events = traced_toy_run(tmp_path)
+        report = build_report([{"name": "toy", "events": events,
+                                "ledger": None}])
+        (run,) = report["runs"]
+        assert run["latency"]["classes"]
+        text = render_report(report)
+        assert "transaction latency" in text
+        assert "critical-path attribution" in text
+        assert "read_miss" in text
+
+    def test_spanless_run_renders_without_latency_section(self):
+        report = build_report([{"name": "empty", "events": [],
+                                "ledger": None}])
+        (run,) = report["runs"]
+        assert run["latency"] is None
+        assert "transaction latency" not in render_report(report)
+        assert "no span events" in render_latency(
+            latency_report([]))
+
+    def test_serial_and_parallel_sweeps_agree_exactly(
+            self, tmp_path_factory):
+        reports = []
+        for serial in (True, False):
+            trace_dir = str(tmp_path_factory.mktemp(
+                f"sweep_{'serial' if serial else 'parallel'}"))
+            run_sweep(["lu"], ["baseline", "cp_parity"], serial=serial,
+                      trace_dir=trace_dir, **SWEEP_KW)
+            reports.append({
+                run["name"]: latency_report(run["events"])
+                for run in gather_runs([trace_dir])})
+        serial_report, parallel_report = reports
+        assert serial_report == parallel_report
+        assert all(r["total_spans"] > 0 for r in serial_report.values())
 
 
 class TestGatherRuns:

@@ -1,0 +1,252 @@
+"""Transaction-level causal spans: closure, reconciliation, zero cost.
+
+The two tentpole invariants of ``repro.obs.spans`` are pinned here on
+*live* simulations, not synthetic streams:
+
+* segment-sum closure — every span's segment durations sum exactly to
+  its duration;
+* counter reconciliation — per-class steady-state span counts equal
+  the simulator's own transaction counters bit-for-bit.
+
+Plus: the Table 3 network formula recomputed from an isolated read
+miss's ``net`` segments, live ``lat.*`` histogram equality with a
+trace-recomputed histogram, txn-id determinism, and the zero-cost-off
+contract.
+"""
+
+from __future__ import annotations
+
+from conftest import ToyWorkload, build_tiny_machine
+
+from repro.obs import (
+    NULL_SPANS,
+    SEGMENTS,
+    SPAN_CLASSES,
+    LogHistogram,
+    RingBufferSink,
+    Tracer,
+    span_ends,
+    steady_state_span_ends,
+)
+from repro.obs.spans import SpanRecorder
+
+
+def run_traced(rounds: int = 2, refs_per_round: int = 1500):
+    """One deterministic traced ReVive run; returns (machine, events)."""
+    sink = RingBufferSink(capacity=1 << 20)
+    machine = build_tiny_machine()
+    machine.install_tracer(Tracer(sink))
+    machine.attach_workload(ToyWorkload(rounds=rounds,
+                                        refs_per_round=refs_per_round))
+    machine.run()
+    assert sink.dropped == 0
+    return machine, sink.events()
+
+
+class TestSpanPrimitives:
+    def make_recorder(self):
+        sink = RingBufferSink()
+        return SpanRecorder(Tracer(sink)), sink
+
+    def test_cursor_charges_deltas_and_merges_same_kind(self):
+        recorder, _sink = self.make_recorder()
+        span = recorder.begin("read_miss", 0, 100)
+        span.seg("net", 140)
+        span.seg("dir", 161)
+        span.seg("dir", 180)      # consecutive same kind: merged
+        span.seg("net", 170)      # does not move time forward: no-op
+        span.seg("mem_read", 240)
+        assert span.segs == [["net", 40], ["dir", 40], ["mem_read", 60]]
+        assert span.cursor == 240
+
+    def test_end_defaults_to_cursor_guaranteeing_closure(self):
+        recorder, sink = self.make_recorder()
+        span = recorder.begin("writeback", 2, 50)
+        span.seg("net", 90)
+        span.seg("mem_write", 150)
+        span.end()
+        end = sink.events()[-1]
+        assert end["name"] == "span.end"
+        assert end["ts"] == 150
+        assert end["dur_ns"] == 100
+        assert sum(d for _k, d in end["segs"]) == end["dur_ns"]
+
+    def test_explicit_end_time_is_honored(self):
+        recorder, sink = self.make_recorder()
+        span = recorder.begin("ckpt", -1, 0)
+        span.seg("mem_write", 30)
+        span.end(at=30)
+        assert sink.events()[-1]["dur_ns"] == 30
+
+    def test_txn_ids_monotonic_from_zero(self):
+        recorder, sink = self.make_recorder()
+        for _ in range(3):
+            recorder.begin("upgrade", 1, 0).end(at=0)
+        begins = [e for e in sink.events() if e["name"] == "span.begin"]
+        assert [e["txn"] for e in begins] == [0, 1, 2]
+
+    def test_begin_event_carries_class_node_and_fields(self):
+        recorder, sink = self.make_recorder()
+        recorder.begin("read_miss", 3, 7, line=0x1240)
+        begin = sink.events()[-1]
+        assert begin["cat"] == "span"
+        assert begin["class"] == "read_miss"
+        assert begin["node"] == 3
+        assert begin["ts"] == 7
+        assert begin["line"] == 0x1240
+
+    def test_closed_span_feeds_latency_histogram(self):
+        from repro.obs import MetricsRegistry
+        metrics = MetricsRegistry()
+        recorder = SpanRecorder(Tracer(RingBufferSink()), metrics=metrics)
+        span = recorder.begin("read_miss", 0, 0)
+        span.seg("net", 80)
+        span.end()
+        assert metrics.log_histogram("lat.read_miss").count == 1
+        assert metrics.log_histogram("lat.read_miss").max_value == 80
+
+    def test_category_filtered_tracer_disables_recorder(self):
+        tracer = Tracer(RingBufferSink(), categories={"ckpt", "recovery"})
+        assert SpanRecorder(tracer).enabled is False
+        tracer = Tracer(RingBufferSink(), categories={"span"})
+        assert SpanRecorder(tracer).enabled is True
+
+
+class TestZeroCostWhenOff:
+    def test_fresh_machine_carries_null_recorder(self):
+        machine = build_tiny_machine()
+        assert machine.spans is NULL_SPANS
+        assert machine.spans.enabled is False
+
+    def test_untraced_run_allocates_no_txn_ids(self):
+        machine = build_tiny_machine()
+        machine.attach_workload(ToyWorkload(rounds=1, refs_per_round=500))
+        machine.run()
+        assert machine.spans is NULL_SPANS
+        assert NULL_SPANS.next_txn == 0
+        assert machine.stats.counter("txn.read_miss").value > 0
+
+    def test_install_tracer_enables_spans(self):
+        machine = build_tiny_machine()
+        machine.install_tracer(Tracer(RingBufferSink()))
+        assert machine.spans is not NULL_SPANS
+        assert machine.spans.enabled
+        assert machine.spans.metrics is machine.stats
+
+
+class TestClosureOnLiveRun:
+    def test_every_span_pairs_and_closes_exactly(self):
+        _machine, events = run_traced()
+        begins = {e["txn"]: e for e in events
+                  if e.get("name") == "span.begin"}
+        ends = span_ends(events)
+        assert len(ends) == len(begins) > 0
+        for end in ends:
+            begin = begins[end["txn"]]
+            assert begin["class"] == end["class"]
+            assert begin["node"] == end["node"]
+            assert end["dur_ns"] == end["ts"] - begin["ts"]
+            # The tentpole invariant: exact segment-sum closure.
+            assert sum(d for _k, d in end["segs"]) == end["dur_ns"]
+
+    def test_only_cataloged_classes_and_segment_kinds(self):
+        _machine, events = run_traced()
+        for end in span_ends(events):
+            assert end["class"] in SPAN_CLASSES
+            for kind, dur in end["segs"]:
+                assert kind in SEGMENTS
+                assert isinstance(dur, int) and dur > 0
+
+
+class TestCounterReconciliation:
+    COUNTERS = {
+        "read_miss": "txn.read_miss",
+        "write_miss": "txn.write_miss",
+        "upgrade": "txn.upgrade",
+        "writeback": "txn.writeback",
+        "invalidation": "txn.invalidation",
+        "ckpt": "ckpt.count",
+        "recovery": "recovery.count",
+    }
+
+    def test_steady_state_span_counts_match_counters_bit_for_bit(self):
+        machine, events = run_traced()
+        by_class = {cls: 0 for cls in SPAN_CLASSES}
+        for end in steady_state_span_ends(events):
+            by_class[end["class"]] += 1
+        for cls, counter in self.COUNTERS.items():
+            assert by_class[cls] == machine.stats.counter(counter).value, cls
+        # The run must actually exercise the protocol and checkpoints
+        # for the equality above to mean anything.
+        assert by_class["read_miss"] > 0
+        assert by_class["write_miss"] > 0
+        assert by_class["writeback"] > 0
+        assert by_class["ckpt"] > 0
+
+    def test_replacement_hints_counted_but_never_spanned(self):
+        machine, events = run_traced()
+        assert machine.stats.counter("txn.hint").value > 0
+        spanned = len(steady_state_span_ends(events))
+        total_txns = sum(machine.stats.counter(c).value
+                         for c in self.COUNTERS.values())
+        assert spanned == total_txns  # hints excluded on both sides
+
+    def test_live_latency_histograms_equal_trace_recomputed(self):
+        # The live ``lat.*`` histograms are fed span by span as the
+        # run executes (including warmup — they are never reset);
+        # rebuilding them from all trace span.end events must agree
+        # bit-for-bit.
+        machine, events = run_traced()
+        rebuilt = {}
+        for end in span_ends(events):
+            rebuilt.setdefault(end["class"],
+                               LogHistogram("x")).record(end["dur_ns"])
+        assert rebuilt
+        for cls, histogram in rebuilt.items():
+            live = machine.stats.log_histogram("lat." + cls)
+            assert live.summary() == histogram.summary(), cls
+            assert live.buckets() == histogram.buckets(), cls
+
+
+class TestIsolatedReadMissMatchesTable3:
+    def test_net_segments_equal_table3_roundtrip(self):
+        # A single read miss on an otherwise idle machine decomposes
+        # into request net + directory + DRAM read + data net, with
+        # both net segments exactly at the uncontended Table 3 flight
+        # time (header out, 72-byte line back).
+        sink = RingBufferSink()
+        machine = build_tiny_machine()
+        machine.install_tracer(Tracer(sink))
+        proto, config = machine.protocol, machine.config
+        addr = next(a for a in range(0, 1 << 20, config.line_size)
+                    if machine.geom_cache.home_node(a) != 0)
+        home = machine.geom_cache.home_node(addr)
+        done = proto.read(0, addr, at=0)
+
+        ends = span_ends(sink.events())
+        assert len(ends) == 1
+        end = ends[0]
+        assert end["class"] == "read_miss"
+        assert end["node"] == 0
+        assert end["dur_ns"] == done
+        by_kind = {}
+        for kind, dur in end["segs"]:
+            by_kind[kind] = by_kind.get(kind, 0) + dur
+        net = machine.network
+        assert by_kind["net"] == (
+            net.uncontended_latency(0, home, config.header_bytes)
+            + net.uncontended_latency(home, 0,
+                                      config.line_message_bytes()))
+        assert by_kind["dir"] == config.dir_latency_ns
+        assert by_kind["mem_read"] == config.mem_row_miss_ns
+        assert sum(by_kind.values()) == done
+
+
+class TestDeterminism:
+    def test_identical_runs_emit_identical_span_streams(self):
+        _m1, events1 = run_traced()
+        _m2, events2 = run_traced()
+        spans1 = [e for e in events1 if e.get("cat") == "span"]
+        spans2 = [e for e in events2 if e.get("cat") == "span"]
+        assert spans1 == spans2
+        assert spans1  # non-vacuous

@@ -8,6 +8,7 @@ trace can violate the schema must produce a problem string.
 from __future__ import annotations
 
 import json
+import os
 
 from repro.obs import (JsonlFileSink, SCHEMA_VERSION, Tracer, lint_events,
                        lint_file)
@@ -97,8 +98,93 @@ class TestLintEvents:
         assert ENVELOPE_KEYS == ("v", "seq", "ts", "cat", "name")
         for name, fields in EVENT_FIELDS.items():
             assert name.split(".")[0] in {"sim", "coh", "mem", "log",
-                                          "ckpt", "recovery"}
+                                          "ckpt", "recovery", "span"}
             assert not set(fields) & set(ENVELOPE_KEYS)
+
+
+def span_pair(seq=0, ts=100, txn=0, cls="read_miss", node=1, dur=80,
+              segs=None):
+    """A well-formed span.begin/span.end pair for mutation tests."""
+    if segs is None:
+        segs = [["net", 30], ["dir", 21], ["mem_read", 29]]
+    begin = ev(seq, "span.begin", ts=ts, txn=txn, node=node,
+               **{"class": cls})
+    end = ev(seq + 1, "span.end", ts=ts + dur, txn=txn, node=node,
+             dur_ns=dur, segs=segs, **{"class": cls})
+    return [begin, end]
+
+
+class TestLintSpans:
+    def test_well_formed_span_lints_clean(self):
+        assert lint_events(span_pair()) == []
+
+    def test_segment_sum_closure_violation(self):
+        events = span_pair(segs=[["net", 30], ["dir", 21]])  # sums to 51
+        (problem,) = lint_events(events)
+        assert "segments sum to 51 but span dur_ns is 80" in problem
+
+    def test_end_without_begin(self):
+        (_begin, end) = span_pair()
+        (problem,) = lint_events([end])
+        assert "span.end for txn 0 without a span.begin" in problem
+
+    def test_begin_without_end_flagged_at_eof(self):
+        (begin, _end) = span_pair()
+        (problem,) = lint_events([begin], source="t.jsonl")
+        assert problem == ("t.jsonl: span.begin for txn 0 has no "
+                           "matching span.end")
+
+    def test_duplicate_open_txn(self):
+        begin, end = span_pair()
+        dup = dict(begin, seq=begin["seq"])
+        events = [begin, dict(dup, seq=5), dict(end, seq=6)]
+        problems = lint_events(events)
+        assert any("already-open txn 0" in p for p in problems)
+
+    def test_class_mismatch_between_begin_and_end(self):
+        begin, end = span_pair()
+        end = dict(end, **{"class": "writeback"})
+        problems = lint_events([begin, end])
+        assert any("does not match span.begin class" in p
+                   for p in problems)
+
+    def test_unknown_span_class(self):
+        events = span_pair(cls="teleport")
+        problems = lint_events(events)
+        assert any("unknown span class 'teleport'" in p for p in problems)
+
+    def test_unknown_segment_kind(self):
+        events = span_pair(segs=[["net", 30], ["warp", 50]])
+        problems = lint_events(events)
+        assert any("unknown segment kind 'warp'" in p for p in problems)
+
+    def test_dur_must_match_timestamp_difference(self):
+        begin, end = span_pair()
+        end = dict(end, ts=end["ts"] + 7)
+        problems = lint_events([begin, end])
+        assert any("!= end ts - begin ts" in p for p in problems)
+
+    def test_malformed_segment_shape(self):
+        events = span_pair(segs=[["net", 30, "extra"]])
+        problems = lint_events(events)
+        assert any("malformed segment" in p for p in problems)
+
+    def test_non_integer_txn(self):
+        begin, _end = span_pair()
+        begin = dict(begin, txn="seventeen")
+        problems = lint_events([begin])
+        assert any("is not an integer" in p for p in problems)
+
+    def test_broken_span_fixture_fails_lint(self):
+        # The checked-in fixture carries one good span and one whose
+        # segments were hand-corrupted to sum short — lint must fail
+        # on exactly that span, proving the closure check has teeth.
+        fixture = os.path.join(os.path.dirname(__file__), "fixtures",
+                               "broken_span_trace.jsonl")
+        problems = lint_file(fixture)
+        assert len(problems) == 1
+        assert "segments sum to 60 but span dur_ns is 101" in problems[0]
+        assert "txn 1" in problems[0]
 
 
 class TestLintFile:
