@@ -8,9 +8,10 @@ it is tracked alongside the figures in two forms:
   ``results/simulator_throughput.txt``), and
 * the ``perf``-marked harness test, which writes the machine-readable
   ``results/BENCH_throughput.json`` — refs/sec per exhibit, speedup
-  against the recorded pre-fast-path baseline, and the sweep
-  executor's parallel wall-clock comparison — and enforces the soft
-  regression threshold (``repro.harness.perf``).
+  against the recorded pre-fast-path baseline, the sweep executor's
+  parallel wall-clock comparison, and the result store's warm-cache
+  hit-path latency — and enforces the soft regression threshold plus
+  the cache-hit ceiling/speedup gates (``repro.harness.perf``).
 
 Run the perf harness alone with ``pytest benchmarks -m perf`` or via
 ``python tools/bench.py`` (docs/PERFORMANCE.md).

@@ -13,6 +13,8 @@ Exposes the common workflows without writing Python::
     python -m repro export-trace out.jsonl    # Perfetto / chrome://tracing
     python -m repro trace-lint out.jsonl      # schema-validate a trace
     python -m repro table3                    # machine configuration
+    python -m repro serve --cache-dir .cache  # async simulation service
+    python -m repro submit lu --nodes 4       # stream a request to it
 
 All commands accept ``--scale`` (run length multiplier),
 ``--interval-us`` (checkpoint interval), and ``--nodes`` (shrink to a
@@ -29,6 +31,12 @@ collects per-job traces and ledgers, merged deterministically;
 (or any trace files) without re-running anything.  Exit status is
 nonzero when a recovery verification (or the trace cross-check)
 fails, so the CLI is scriptable in CI.
+
+``sweep`` and ``latency`` accept a shared ``--cache-dir``: a
+content-addressed result store (docs/SERVING.md) that lets repeat
+configurations skip the simulation entirely, with a hits/misses log
+line.  ``serve`` runs the async simulation service over the same
+store; ``submit`` streams a run/latency/sweep/report request to it.
 """
 
 from __future__ import annotations
@@ -125,6 +133,56 @@ def make_parser() -> argparse.ArgumentParser:
     swp_p.add_argument("--trace-categories", metavar="CATS", default=None,
                        help="comma-separated category filter for "
                             "--trace-dir traces")
+    _cache_flags(swp_p)
+
+    srv_p = sub.add_parser(
+        "serve",
+        help="run the async simulation service: accepts "
+             "run/latency/sweep/report requests over newline-delimited "
+             "JSON, dedupes them against the content-addressed result "
+             "store, and streams progress events back "
+             "(docs/SERVING.md)")
+    srv_p.add_argument("--host", default=None,
+                       help="bind address (default 127.0.0.1)")
+    srv_p.add_argument("--port", type=int, default=None,
+                       help="TCP port (default 7316; 0 picks a free one)")
+    srv_p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for cache misses "
+                            "(default: CPU count, capped at 4)")
+    srv_p.add_argument("--max-cache-mb", type=float, default=None,
+                       help="size-bound the result store; least-"
+                            "recently-used entries are evicted")
+    _cache_flags(srv_p, default_dir=".repro-cache")
+
+    sbm_p = sub.add_parser(
+        "submit",
+        help="submit a request to a running 'repro serve' instance and "
+             "stream its progress events")
+    sbm_p.add_argument("apps", nargs="+", metavar="APP",
+                       help="application(s); run/latency take exactly one")
+    sbm_p.add_argument("--op", choices=("run", "latency", "sweep",
+                                        "report"), default="run",
+                       help="request operation (default run)")
+    sbm_p.add_argument("--variants", default=None, metavar="V1,V2",
+                       help="comma-separated variants (default: "
+                            "cp_parity for run/latency, "
+                            "baseline,cp_parity for sweep/report)")
+    sbm_p.add_argument("--scale", type=float, default=0.1,
+                       help="run-length multiplier (default 0.1)")
+    sbm_p.add_argument("--interval-us", type=float,
+                       default=DEFAULT_INTERVAL_NS / 1000,
+                       help="checkpoint interval in microseconds")
+    sbm_p.add_argument("--nodes", type=int, default=None,
+                       choices=(2, 4, 8, 16),
+                       help="use a MachineConfig.tiny(n) machine")
+    sbm_p.add_argument("--host", default=None,
+                       help="server address (default 127.0.0.1)")
+    sbm_p.add_argument("--port", type=int, default=None,
+                       help="server port (default 7316)")
+    sbm_p.add_argument("--no-cache", action="store_true",
+                       help="ask the server to bypass its result store")
+    sbm_p.add_argument("--json", action="store_true",
+                       help="print the raw event stream as JSON lines")
 
     rec_p = sub.add_parser("recover",
                            help="inject a fault and verify recovery")
@@ -178,6 +236,7 @@ def make_parser() -> argparse.ArgumentParser:
                             "traces (e.g. a sweep --trace-dir)")
     lat_p.add_argument("--json", metavar="PATH", default=None,
                        help="also dump the latency report as JSON")
+    _cache_flags(lat_p)
 
     exp_p = sub.add_parser(
         "export-trace",
@@ -226,6 +285,26 @@ def _observability(parser: argparse.ArgumentParser) -> None:
                         help="monitor the run live (log watermarks, "
                              "checkpoint cadence, traffic, recovery) and "
                              "write the ledger manifest to PATH")
+
+
+def _cache_flags(parser: argparse.ArgumentParser,
+                 default_dir: Optional[str] = None) -> None:
+    """The shared ``--cache-dir`` / ``--no-cache`` pair."""
+    parser.add_argument("--cache-dir", metavar="DIR", default=default_dir,
+                        help="content-addressed result store: repeat "
+                             "configurations are served from it instead "
+                             "of re-simulating (docs/SERVING.md)"
+                             + (f" (default {default_dir})"
+                                if default_dir else ""))
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir for this invocation")
+
+
+def _cache_dir(args) -> Optional[str]:
+    """The effective result-store root (None when caching is off)."""
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None)
 
 
 def _machine_setup(args):
@@ -399,13 +478,18 @@ def cmd_sweep(args) -> int:
             raise SystemExit(
                 f"unknown trace categories {', '.join(unknown)}; "
                 f"choose from {', '.join(CATEGORIES)}")
+    cache_dir = _cache_dir(args)
     sweep = run_sweep(
         args.apps or None, variants,
         workers=args.workers, chunksize=args.chunksize, serial=args.serial,
         scale=args.scale, n_procs=n_procs,
         interval_ns=int(args.interval_us * 1000),
         machine_config=machine_config, trace_dir=args.trace_dir,
-        trace_categories=trace_categories, **_tiny_revive_overrides(args))
+        trace_categories=trace_categories, cache_dir=cache_dir,
+        **_tiny_revive_overrides(args))
+    if cache_dir is not None:
+        print(f"cache: {sweep.cache_hits} hits, {sweep.cache_misses} "
+              f"misses ({cache_dir})")
 
     swept_variants = []
     for _app, variant in sweep.job_order:
@@ -514,13 +598,14 @@ def cmd_recover(args) -> int:
 def _tiny_revive_overrides(args) -> dict:
     """ReVive overrides sized for a ``--nodes`` tiny machine.
 
-    The bench defaults (7+1 parity groups, a 2 MB log region) do not
-    fit a tiny node's 256 KB memory; shrink both proportionally.
+    Delegates to the shared
+    :func:`repro.harness.runner.tiny_revive_overrides` so the CLI and
+    the simulation service derive identical run kwargs — and therefore
+    identical config digests and cache keys — for the same request.
     """
-    if args.nodes is None:
-        return {}
-    return {"parity_group_size": min(7, args.nodes - 1),
-            "log_bytes_per_node": 64 * 1024}
+    from repro.harness.runner import tiny_revive_overrides
+
+    return tiny_revive_overrides(args.nodes)
 
 
 def cmd_trace(args) -> int:
@@ -666,7 +751,12 @@ def cmd_latency(args) -> int:
     enabled.  The report is recomputed from the events alone, and for
     a deterministic sweep it is byte-identical whether the traces were
     produced serially or in parallel.
+
+    ``--cache-dir`` memoizes the computed report per trace, keyed by
+    the trace content — re-running over unchanged traces is a lookup.
     """
+    import json as json_mod
+
     from repro.obs.analysis import latency_report
     from repro.obs.report import gather_runs, render_latency
 
@@ -676,15 +766,39 @@ def cmd_latency(args) -> int:
         raise SystemExit(f"no trace at {exc}")
     if not runs:
         raise SystemExit("no traces found under " + ", ".join(args.paths))
+    cache = None
+    cache_dir = _cache_dir(args)
+    if cache_dir is not None:
+        from repro.harness.store import KIND_LATENCY, ResultStore, \
+            content_key
+
+        cache = ResultStore(cache_dir)
     reports = {}
+    hits = misses = 0
     for run in runs:
-        latency = latency_report(run["events"])
+        latency = None
+        key = None
+        if cache is not None:
+            blob = json_mod.dumps(run["events"], sort_keys=True,
+                                  separators=(",", ":")).encode("utf-8")
+            key = content_key(blob)
+            entry = cache.get(key)
+            if entry is not None and entry.kind == KIND_LATENCY:
+                latency = entry.payload["report"]
+                hits += 1
+        if latency is None:
+            latency = latency_report(run["events"])
+            if cache is not None:
+                cache.put(key, KIND_LATENCY, {"report": latency})
+                misses += 1
         reports[run["name"]] = latency
         if len(runs) > 1:
             print(f"== {run['name']} ==")
         print(render_latency(latency))
         if len(runs) > 1:
             print()
+    if cache is not None:
+        print(f"cache: {hits} hits, {misses} misses ({cache_dir})")
     if args.json:
         import json
 
@@ -715,6 +829,139 @@ def cmd_export_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: the async simulation service (docs/SERVING.md).
+
+    Binds a JSONL TCP server on ``--host:--port`` (``--port 0`` picks
+    a free port; the banner line reports the bound address) and serves
+    run/latency/sweep/report requests, deduped against the result
+    store at ``--cache-dir``.  Runs until interrupted.
+    """
+    import asyncio
+
+    from repro.serve import (
+        DEFAULT_HOST,
+        DEFAULT_PORT,
+        SimulationService,
+        bound_port,
+        start_server,
+    )
+
+    host = args.host if args.host is not None else DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+    max_bytes = (int(args.max_cache_mb * 1024 * 1024)
+                 if args.max_cache_mb is not None else None)
+    service = SimulationService(cache_dir=_cache_dir(args),
+                                workers=args.workers,
+                                max_cache_bytes=max_bytes)
+
+    async def _serve() -> None:
+        server = await start_server(service, host=host, port=port)
+        cache = _cache_dir(args) or "off"
+        print(f"serving on {host}:{bound_port(server)} "
+              f"(cache: {cache}, workers: {service.workers})", flush=True)
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """``repro submit``: stream one request through a running service."""
+    import json as json_mod
+
+    from repro.serve import DEFAULT_HOST, DEFAULT_PORT, submit
+
+    variants = None
+    if args.variants:
+        variants = [v.strip() for v in args.variants.split(",")
+                    if v.strip()]
+    request = {"op": args.op, "nodes": args.nodes, "scale": args.scale,
+               "interval_us": args.interval_us,
+               "no_cache": args.no_cache}
+    if args.op in ("run", "latency"):
+        if len(args.apps) != 1:
+            raise SystemExit(f"op {args.op!r} takes exactly one app")
+        request["app"] = args.apps[0]
+        if variants:
+            request["variant"] = variants[0]
+    else:
+        request["apps"] = args.apps
+        if variants:
+            request["variants"] = variants
+
+    host = args.host if args.host is not None else DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+    try:
+        events = submit(request, host=host, port=port)
+        status = 0
+        for event in events:
+            if args.json:
+                print(json_mod.dumps(event, sort_keys=True))
+                if event["name"] == "svc.error":
+                    status = 1
+                continue
+            status = max(status, _print_submit_event(event))
+        return status
+    except OSError as exc:
+        raise SystemExit(f"cannot reach repro serve at {host}:{port} "
+                         f"({exc}); start one with: repro serve")
+
+
+def _print_submit_event(event: dict) -> int:
+    """Render one ``svc.*`` event for humans; returns the exit status."""
+    name = event.get("name")
+    short = (event.get("key") or "")[:12]
+    if name == "svc.accepted":
+        print(f"accepted {event['op']} request {short}")
+    elif name == "svc.cache_hit":
+        print(f"cache hit {short}")
+    elif name == "svc.cache_miss":
+        print(f"cache miss {short}")
+    elif name == "svc.scheduled":
+        print(f"  scheduled {short}")
+    elif name == "svc.coalesced":
+        print(f"  coalesced onto in-flight run {short}")
+    elif name == "svc.verdicts":
+        healthy = all(v.get("healthy", True)
+                      for v in event["verdicts"].values())
+        print(f"  {event['app']} {event['variant']}: monitors "
+              f"{'healthy' if healthy else 'UNHEALTHY'}")
+    elif name == "svc.latency":
+        classes = event["classes"]
+        if classes:
+            parts = [f"{cls} p99={summary.get('p99', 0) / 1e3:.1f}us"
+                     for cls, summary in sorted(classes.items())]
+            print(f"  latency: {', '.join(parts)}")
+    elif name == "svc.result":
+        result = event["result"]
+        suffix = " (cached)" if event["cached"] else ""
+        print(f"  {event['app']} {event['variant']}: "
+              f"{result['execution_time_ns'] / 1e3:.1f}us, "
+              f"{result['checkpoints']} checkpoints, "
+              f"max log {result['max_log_bytes'] / 1024:.0f}KB{suffix}")
+    elif name == "svc.report":
+        for row in event["rows"]:
+            overheads = ", ".join(
+                f"{variant} {100 * value:+.1f}%"
+                for variant, value in sorted(row.items())
+                if variant not in ("app", "baseline_ns"))
+            print(f"  {row['app']}: baseline "
+                  f"{row['baseline_ns'] / 1e3:.1f}us; {overheads}")
+    elif name == "svc.done":
+        print(f"done: {event['jobs']} jobs, {event['cached']} from cache")
+    elif name == "svc.error":
+        print(f"error: {event['error']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = make_parser().parse_args(argv)
@@ -738,6 +985,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_latency(args)
     if args.command == "export-trace":
         return cmd_export_trace(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "submit":
+        return cmd_submit(args)
     assert args.command == "recover"
     return cmd_recover(args)
 

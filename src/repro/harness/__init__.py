@@ -6,8 +6,11 @@ from repro.harness.runner import (
     VARIANTS,
     build_machine,
     run_app,
+    tiny_revive_overrides,
 )
 from repro.harness.reporting import format_table
+from repro.harness.store import ResultStore, job_digest, store_key
 
 __all__ = ["RunResult", "VARIANTS", "build_machine", "run_app",
-           "format_table"]
+           "tiny_revive_overrides", "format_table",
+           "ResultStore", "job_digest", "store_key"]

@@ -25,7 +25,17 @@ files are byte-identical to a serial one's — pinned by
 ``tests/test_parallel_sweep.py``.  ``repro report trace_dir/`` renders
 the dashboard from them.
 
-Used by ``repro sweep`` (CLI) and the throughput harness
+Cached sweeps (``cache_dir=``): every job is first looked up in a
+:class:`~repro.harness.store.ResultStore` keyed by its ledger config
+digest (folded with the trace-category filter and schema versions, see
+``docs/SERVING.md``).  Hits skip the simulation entirely and — for
+traced sweeps — replay the stored trace and manifest bytes into
+``trace_dir``, byte-identical to a fresh run; misses run normally and
+are stored for next time.  ``tests/test_cached_sweep.py`` pins the
+byte-identity.
+
+Used by ``repro sweep`` (CLI), the simulation service
+(``repro.serve``), and the throughput harness
 (``benchmarks/test_simulator_throughput.py``); see docs/PERFORMANCE.md.
 """
 
@@ -136,6 +146,12 @@ class SweepResult:
     ledgers: Optional[List[Dict]] = None
     #: Where traces/ledgers were written (traced sweeps only).
     trace_dir: Optional[str] = None
+    #: Jobs served from the result store (cached sweeps only).
+    cache_hits: int = 0
+    #: Jobs actually simulated when a result store was in use.
+    cache_misses: int = 0
+    #: The result store root (cached sweeps only).
+    cache_dir: Optional[str] = None
 
     def get(self, app: str, variant: str) -> RunResult:
         """The result of one sweep cell."""
@@ -191,6 +207,8 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
               interval_ns: int = DEFAULT_INTERVAL_NS, machine_config=None,
               trace_dir: Optional[str] = None,
               trace_categories: Optional[Sequence[str]] = None,
+              cache_dir: Optional[str] = None,
+              cache_max_bytes: Optional[int] = None,
               **revive_overrides) -> SweepResult:
     """Run an app × variant sweep, fanning out over worker processes.
 
@@ -204,12 +222,39 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
     job's JSONL trace and ledger manifest there (created if needed),
     optionally filtered to ``trace_categories``, and the merged
     ``sweep.ledger.json`` is written after the deterministic merge.
+
+    ``cache_dir`` memoizes jobs through a
+    :class:`~repro.harness.store.ResultStore` rooted there: cells whose
+    config digest (and trace-category filter) match a stored entry are
+    served from the store — traced hits replay the stored trace and
+    ledger bytes into ``trace_dir`` — and only the misses are
+    dispatched to workers.  A traced sweep hitting an entry stored
+    without a trace re-runs that cell and upgrades the entry.
+    ``cache_max_bytes`` bounds the store (LRU eviction on write).
     """
     if chunksize < 1:
         raise ValueError("chunksize must be >= 1")
     jobs = sweep_jobs(apps, variants, scale=scale, n_procs=n_procs,
                       interval_ns=interval_ns, machine_config=machine_config,
                       **revive_overrides)
+    cache = None
+    job_keys: List[Optional[str]] = [None] * len(jobs)
+    if cache_dir is not None:
+        from repro.harness import store as result_store
+
+        cache = result_store.ResultStore(cache_dir,
+                                         max_bytes=cache_max_bytes)
+        # Keys come from the kwargs exactly as the worker's RunLedger
+        # will canonicalise them — computed before the ``_trace`` spec
+        # (a file-path detail, not configuration) is injected.
+        key_categories = (sorted(trace_categories)
+                          if (trace_dir is not None
+                              and trace_categories is not None) else None)
+        job_keys = [
+            result_store.store_key(
+                result_store.job_digest(app, variant, kwargs),
+                trace_categories=key_categories)
+            for app, variant, kwargs in jobs]
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
         categories = (list(trace_categories)
@@ -219,13 +264,39 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
             kwargs["_trace"] = {"path": base + ".jsonl",
                                 "ledger_path": base + ".ledger.json",
                                 "categories": categories}
-    n_workers = workers if workers is not None else default_workers(len(jobs))
-    if n_workers < 1:
-        raise ValueError("workers must be >= 1")
-    use_pool = not serial and n_workers > 1 and len(jobs) > 1
 
     start = time.perf_counter()
     indexed: Dict[int, Tuple[RunResult, Optional[Dict]]] = {}
+    todo: List[Tuple[int, Tuple[str, str, Dict]]] = []
+    for index, job in enumerate(jobs):
+        entry = cache.get(job_keys[index]) if cache is not None else None
+        if entry is not None and trace_dir is not None and (
+                entry.payload.get("manifest") is None
+                or not entry.has_artifact(result_store.TRACE_ARTIFACT)):
+            # Stored by an untraced sweep: good enough for results,
+            # but a traced sweep needs the trace + manifest too.
+            # Re-run and upgrade the entry.
+            entry = None
+        if entry is None:
+            todo.append((index, job))
+            continue
+        result = result_store.result_from_payload(entry.payload)
+        manifest = entry.payload.get("manifest")
+        if trace_dir is not None:
+            app, variant, _kwargs = job
+            base = os.path.join(trace_dir, f"{app}__{variant}")
+            with open(base + ".jsonl", "wb") as handle:
+                handle.write(
+                    entry.read_artifact(result_store.TRACE_ARTIFACT))
+            with open(base + ".ledger.json", "wb") as handle:
+                handle.write(result_store.manifest_bytes(manifest))
+        indexed[index] = (result, manifest)
+    hits = len(jobs) - len(todo)
+
+    n_workers = workers if workers is not None else default_workers(len(todo))
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    use_pool = not serial and n_workers > 1 and len(todo) > 1
     ran_parallel = False
     if use_pool:
         try:
@@ -233,8 +304,7 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
 
             with mp.Pool(processes=n_workers) as pool:
                 for index, result, manifest in pool.imap_unordered(
-                        _execute, list(enumerate(jobs)),
-                        chunksize=chunksize):
+                        _execute, todo, chunksize=chunksize):
                     indexed[index] = (result, manifest)
             ran_parallel = True
         except (OSError, ImportError, PermissionError) as exc:
@@ -242,11 +312,24 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
                 f"parallel sweep unavailable ({exc!r}); "
                 f"falling back to serial execution", RuntimeWarning,
                 stacklevel=2)
-            indexed.clear()
+            for index in [i for i, _job in todo]:
+                indexed.pop(index, None)
     if not ran_parallel:
-        for index, result, manifest in map(_execute, enumerate(jobs)):
+        for index, result, manifest in map(_execute, todo):
             indexed[index] = (result, manifest)
         n_workers = 1
+
+    if cache is not None:
+        for index, (app, variant, _kwargs) in todo:
+            result, manifest = indexed[index]
+            artifacts = None
+            if trace_dir is not None:
+                base = os.path.join(trace_dir, f"{app}__{variant}")
+                with open(base + ".jsonl", "rb") as handle:
+                    artifacts = {result_store.TRACE_ARTIFACT: handle.read()}
+            cache.put(job_keys[index], result_store.KIND_RUN,
+                      result_store.run_payload(result, manifest),
+                      artifacts=artifacts)
 
     job_order = [(app, variant) for app, variant, _kwargs in jobs]
     results = {job_order[index]: indexed[index][0]
@@ -272,4 +355,7 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
     return SweepResult(results=results, workers=n_workers,
                        wall_seconds=time.perf_counter() - start,
                        parallel=ran_parallel, job_order=job_order,
-                       ledgers=ledgers, trace_dir=trace_dir)
+                       ledgers=ledgers, trace_dir=trace_dir,
+                       cache_hits=hits,
+                       cache_misses=len(todo) if cache is not None else 0,
+                       cache_dir=cache_dir)

@@ -41,6 +41,16 @@ SOFT_THRESHOLD = 0.5
 #: The standard exhibits: single-process runs whose refs/sec we track.
 EXHIBIT_VARIANTS = ("baseline", "cp_parity")
 
+#: Hard ceiling on the result store's warm hit path: replaying a whole
+#: cached sweep (lookup + byte replay, zero simulation) must finish in
+#: well under a second, or the cache is not the O(1) lookup
+#: docs/SERVING.md promises.
+CACHE_HIT_MAX_SECONDS = 0.25
+
+#: Hard floor on hit-vs-miss speedup: a warm cache must beat fresh
+#: simulation by at least this factor on the standard cache exhibit.
+CACHE_HIT_MIN_SPEEDUP = 5.0
+
 REPORT_SCHEMA = 1
 
 
@@ -97,10 +107,57 @@ def measure_sweep_parallelism(workers: int = 4, scale: float = 0.1,
     }
 
 
+def measure_cache_hit_path(rounds: int = 3) -> Dict[str, float]:
+    """Warm-cache latency of the result store's hit path.
+
+    Runs the standard cache exhibit — a serial ``lu``
+    baseline/cp_parity sweep on a tiny 4-node machine — once cold
+    (populating a fresh store; this is the *miss* wall clock) and then
+    ``rounds`` more times warm, reporting the best warm wall clock,
+    the equivalent lookups/sec, and the hit-vs-miss speedup.  Gated in
+    :func:`hard_failures` by :data:`CACHE_HIT_MAX_SECONDS` and
+    :data:`CACHE_HIT_MIN_SPEEDUP`.
+    """
+    import shutil
+    import tempfile
+
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    apps, variants = ["lu"], ["baseline", "cp_parity"]
+    kwargs = dict(serial=True, scale=0.05, n_procs=4,
+                  machine_config=MachineConfig.tiny(4),
+                  parity_group_size=3, log_bytes_per_node=64 * 1024)
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cold = run_sweep(apps, variants, cache_dir=cache_dir, **kwargs)
+        assert cold.cache_misses == len(cold.job_order)
+        warm_walls = []
+        for _ in range(rounds):
+            warm = run_sweep(apps, variants, cache_dir=cache_dir, **kwargs)
+            assert warm.cache_hits == len(warm.job_order)
+            warm_walls.append(warm.wall_seconds)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    best = min(warm_walls)
+    jobs = len(cold.job_order)
+    return {
+        "jobs": jobs,
+        "rounds": rounds,
+        "miss_wall_seconds": cold.wall_seconds,
+        "hit_wall_seconds_best": best,
+        "hit_wall_seconds_mean": sum(warm_walls) / rounds,
+        "hit_lookups_per_sec": jobs / best if best else 0.0,
+        "speedup_vs_miss": (cold.wall_seconds / best) if best else 0.0,
+        "max_seconds": CACHE_HIT_MAX_SECONDS,
+        "min_speedup": CACHE_HIT_MIN_SPEEDUP,
+    }
+
+
 def throughput_report(rounds: int = 3, scale: float = 0.25,
                       sweep_workers: int = 4,
                       include_sweep: bool = True,
-                      sweep_scale: float = 0.1) -> Dict:
+                      sweep_scale: float = 0.1,
+                      include_cache: bool = True) -> Dict:
     """The full ``BENCH_throughput.json`` payload."""
     exhibits = {variant: measure_exhibit(variant, scale=scale,
                                          rounds=rounds)
@@ -117,6 +174,8 @@ def throughput_report(rounds: int = 3, scale: float = 0.25,
         "sweep": (measure_sweep_parallelism(workers=sweep_workers,
                                             scale=sweep_scale)
                   if include_sweep else None),
+        "cache": (measure_cache_hit_path(rounds=rounds)
+                  if include_cache else None),
     }
     report["regressions"] = soft_regressions(report)
     return report
@@ -148,12 +207,25 @@ def soft_regressions(report: Dict) -> List[str]:
 def hard_failures(report: Dict) -> List[str]:
     """The subset of regressions that should fail a perf gate."""
     floor = SOFT_THRESHOLD * report["recorded_baseline_refs_per_sec"]
-    return [
+    failures = [
         f"{variant}: {exhibit['refs_per_sec']:,.0f} refs/s < "
         f"{floor:,.0f} floor"
         for variant, exhibit in report["exhibits"].items()
         if exhibit["refs_per_sec"] < floor
     ]
+    cache = report.get("cache")
+    if cache:
+        if cache["hit_wall_seconds_best"] > CACHE_HIT_MAX_SECONDS:
+            failures.append(
+                f"cache: warm hit path took "
+                f"{cache['hit_wall_seconds_best']:.3f}s > "
+                f"{CACHE_HIT_MAX_SECONDS}s ceiling")
+        if cache["speedup_vs_miss"] < CACHE_HIT_MIN_SPEEDUP:
+            failures.append(
+                f"cache: hit path only {cache['speedup_vs_miss']:.1f}x "
+                f"faster than simulating (< {CACHE_HIT_MIN_SPEEDUP:.0f}x "
+                f"floor)")
+    return failures
 
 
 def write_report(report: Dict, path: str) -> None:
@@ -180,6 +252,13 @@ def format_report(report: Dict) -> str:
             f"{sweep['workers_used']} workers "
             f"({sweep['speedup']:.2f}x, host has {sweep['cpu_count']} "
             f"CPU(s))")
+    cache = report.get("cache")
+    if cache:
+        lines.append(
+            f"  cache hit    {cache['jobs']} jobs replayed in "
+            f"{cache['hit_wall_seconds_best']:.3f}s "
+            f"({cache['speedup_vs_miss']:.0f}x faster than simulating, "
+            f"best of {cache['rounds']})")
     for warning in report.get("regressions", []):
         lines.append(f"  WARNING: {warning}")
     return "\n".join(lines)

@@ -89,6 +89,23 @@ class RunResult:
         return (self.execution_time_ns / baseline.execution_time_ns) - 1.0
 
 
+def tiny_revive_overrides(nodes: Optional[int]) -> Dict:
+    """ReVive overrides scaled down for a ``MachineConfig.tiny`` machine.
+
+    A tiny machine has fewer nodes than the paper's 7+1 parity group
+    and far less memory pressure than the bench preset assumes, so the
+    parity group shrinks to fit and the per-node log shrinks with it.
+    Shared by the CLI (``--nodes``) and the simulation service so both
+    produce the *same* run kwargs — and therefore the same config
+    digests and cache keys — for the same request.  ``nodes=None``
+    (full bench machine) means no overrides.
+    """
+    if nodes is None:
+        return {}
+    return {"parity_group_size": min(7, nodes - 1),
+            "log_bytes_per_node": 64 * 1024}
+
+
 def revive_config_for(variant: str,
                       interval_ns: int = DEFAULT_INTERVAL_NS,
                       **overrides) -> Optional[ReViveConfig]:

@@ -61,6 +61,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.monitor import (
     LEDGER_VERSION,
+    CacheHealthMonitor,
     CheckpointCadenceMonitor,
     LogOccupancyMonitor,
     MemTrafficMonitor,
@@ -115,6 +116,7 @@ __all__ = [
     "SpanLatencyMonitor",
     "Monitor",
     "MonitorSuite",
+    "CacheHealthMonitor",
     "LogOccupancyMonitor",
     "CheckpointCadenceMonitor",
     "TrafficRateMonitor",

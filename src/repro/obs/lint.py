@@ -50,6 +50,22 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
                      "resume_time"),
     "span.begin": ("txn", "class", "node"),
     "span.end": ("txn", "class", "node", "dur_ns", "segs"),
+    # Serving-layer events (docs/SERVING.md).  They happen outside
+    # simulated time, so their ``ts`` is 0 by convention.
+    "svc.accepted": ("op", "key"),
+    "svc.cache_hit": ("key",),
+    "svc.cache_miss": ("key",),
+    "svc.cache_store": ("key", "bytes"),
+    "svc.cache_evict": ("key", "bytes"),
+    "svc.cache_corrupt": ("key", "reason"),
+    "svc.coalesced": ("key",),
+    "svc.scheduled": ("key",),
+    "svc.verdicts": ("key", "verdicts"),
+    "svc.latency": ("key", "classes"),
+    "svc.result": ("key", "cached"),
+    "svc.report": ("key", "rows"),
+    "svc.done": ("key", "jobs", "cached"),
+    "svc.error": ("error",),
 }
 
 

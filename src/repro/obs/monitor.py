@@ -483,6 +483,73 @@ class SpanLatencyMonitor(Monitor):
         }
 
 
+class CacheHealthMonitor(Monitor):
+    """Result-cache health from the serving layer's ``svc.*`` stream.
+
+    Counts cache hits, misses, stores, evictions, and corruptions as
+    :class:`~repro.harness.store.ResultStore` (or the simulation
+    service wrapping it) emits them, and renders the live hit rate.
+    Unhealthy when any entry was found corrupted — corruption degrades
+    to recompute, never to a wrong answer, but it still means disk rot
+    or an interrupted writer worth investigating — or, with
+    ``min_hit_rate`` set, when the hit rate over at least
+    ``min_lookups`` lookups falls below it.
+    """
+
+    name = "cache_health"
+
+    def __init__(self, min_hit_rate: Optional[float] = None,
+                 min_lookups: int = 10) -> None:
+        if min_hit_rate is not None and not 0.0 <= min_hit_rate <= 1.0:
+            raise ValueError("min_hit_rate must be in [0, 1]")
+        self.min_hit_rate = min_hit_rate
+        self.min_lookups = min_lookups
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        self.corruptions = 0
+        self.corrupt_keys: List[str] = []
+
+    def observe(self, event: Dict) -> None:
+        name = event.get("name")
+        if name == "svc.cache_hit":
+            self.hits += 1
+        elif name == "svc.cache_miss":
+            self.misses += 1
+        elif name == "svc.cache_store":
+            self.stores += 1
+        elif name == "svc.cache_evict":
+            self.evictions += 1
+            self.evicted_bytes += event.get("bytes", 0)
+        elif name == "svc.cache_corrupt":
+            self.corruptions += 1
+            if len(self.corrupt_keys) < 32:
+                self.corrupt_keys.append(event.get("key"))
+
+    def verdict(self) -> Dict:
+        lookups = self.hits + self.misses
+        hit_rate = (self.hits / lookups) if lookups else None
+        starved = (self.min_hit_rate is not None
+                   and lookups >= self.min_lookups
+                   and hit_rate is not None
+                   and hit_rate < self.min_hit_rate)
+        return {
+            "healthy": self.corruptions == 0 and not starved,
+            "lookups": lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": hit_rate,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "corruptions": self.corruptions,
+            "corrupt_keys": list(self.corrupt_keys),
+            "min_hit_rate": self.min_hit_rate,
+        }
+
+
 def default_monitors(interval_ns: Optional[int] = None,
                      log_capacity_bytes: Optional[int] = None,
                      span_high_water_ns: Optional[Dict[str, int]] = None,

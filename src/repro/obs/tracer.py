@@ -42,8 +42,13 @@ from typing import Dict, Iterable, List, Optional, Set
 #: segment attribution) — v1 events are unchanged.
 SCHEMA_VERSION = 2
 
-#: The known event categories, in emission-site order.
-CATEGORIES = ("sim", "coh", "mem", "log", "ckpt", "recovery", "span")
+#: The known event categories, in emission-site order.  ``svc`` events
+#: come from the serving layer (result cache + simulation service, see
+#: docs/SERVING.md), happen outside simulated time, and carry ``ts`` 0
+#: by convention.  Adding a category is additive within a schema
+#: version — readers ignore categories they do not know.
+CATEGORIES = ("sim", "coh", "mem", "log", "ckpt", "recovery", "span",
+              "svc")
 
 
 class RingBufferSink:

@@ -1,0 +1,44 @@
+"""Async simulation service + content-addressed result cache.
+
+``repro serve`` runs a :class:`SimulationService` behind a JSONL TCP
+server; ``repro submit`` (or :func:`submit` from Python) streams a
+request through it.  Repeat configurations are served from the
+:class:`~repro.harness.store.ResultStore` in O(1) — byte-identical to
+a fresh run, with the ledger manifest as the oracle.  Architecture,
+protocol, and guarantees: ``docs/SERVING.md``.
+
+Quick start::
+
+    # terminal 1
+    python -m repro serve --cache-dir .repro-cache
+
+    # terminal 2 (or any Python process)
+    from repro.serve import submit
+    for event in submit({"op": "run", "app": "lu", "nodes": 4,
+                         "scale": 0.1}):
+        print(event["name"])
+"""
+
+from repro.serve.client import submit
+from repro.serve.service import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    OPS,
+    ServiceError,
+    SimulationService,
+    bound_port,
+    request_key,
+    start_server,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "OPS",
+    "ServiceError",
+    "SimulationService",
+    "bound_port",
+    "request_key",
+    "start_server",
+    "submit",
+]

@@ -1,0 +1,42 @@
+"""Blocking client for the ``repro serve`` JSONL protocol.
+
+One request per connection: :func:`submit` sends the request as a
+single JSON line and yields each ``svc.*`` event as the server streams
+it back, until the server closes the connection (after ``svc.done`` or
+``svc.error``).  The protocol and event catalog are documented in
+``docs/SERVING.md``; the worked example there uses exactly this
+function.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Iterator, Optional
+
+from repro.serve.service import DEFAULT_HOST, DEFAULT_PORT
+
+
+def submit(request: Dict, host: str = DEFAULT_HOST,
+           port: int = DEFAULT_PORT,
+           timeout: Optional[float] = 300.0) -> Iterator[Dict]:
+    """Send one request to a running service; yield its event stream.
+
+    ``timeout`` bounds each read (None blocks forever) — generous by
+    default because a cache miss runs a real simulation.  Raises
+    ``OSError`` when no server listens at ``host:port`` and
+    ``ValueError`` on a non-JSON line (a non-``repro serve`` peer).
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        with sock.makefile("rwb") as stream:
+            stream.write(json.dumps(request).encode("utf-8") + b"\n")
+            stream.flush()
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"non-JSON line from server: {line[:80]!r}") from exc

@@ -1,0 +1,422 @@
+"""The async simulation service behind ``repro serve``.
+
+A :class:`SimulationService` accepts run/latency/sweep/report requests,
+dedupes them against a content-addressed
+:class:`~repro.harness.store.ResultStore` keyed by the ledger config
+digest, schedules cache misses across a multiprocessing worker pool
+(reusing the deterministic executor from
+:mod:`repro.harness.parallel`), and streams progress back as ``svc.*``
+events — cache hit/miss per cell, monitor verdicts, span-latency
+classes, the result itself, and (for ``report`` requests) Figure-8
+style overhead rows.  The architecture, request lifecycle, and
+consistency guarantees are documented in ``docs/SERVING.md``.
+
+Two properties make the cache *correct*, not merely fast:
+
+* every simulation is deterministic given its arguments, and
+* the ledger manifest is wall-clock-free,
+
+so a cache hit's manifest is byte-identical to the one a fresh run
+would write (``tests/test_serve.py`` pins this).  Requests racing on
+the same cell coalesce onto one in-flight computation.
+
+Transport: :func:`start_server` wraps the service in an asyncio TCP
+server speaking newline-delimited JSON — one request line in, one
+event per line out, connection closed after ``svc.done`` /
+``svc.error``.  :func:`repro.serve.client.submit` is the matching
+client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from typing import AsyncIterator, Dict, List, Optional, Tuple
+
+from repro.harness import parallel
+from repro.harness.runner import (
+    DEFAULT_INTERVAL_NS,
+    VARIANTS,
+    tiny_revive_overrides,
+)
+from repro.harness.store import (
+    KIND_RUN,
+    TRACE_ARTIFACT,
+    ResultStore,
+    job_digest,
+    result_from_payload,
+    run_payload,
+    store_key,
+)
+from repro.obs.monitor import CacheHealthMonitor, MonitorSuite
+from repro.obs.tracer import SCHEMA_VERSION, Tracer
+from repro.workloads.registry import APP_NAMES
+
+#: Default TCP port of ``repro serve`` (chosen arbitrarily, unassigned).
+DEFAULT_PORT = 7316
+
+#: Default bind address: loopback only — the service performs no
+#: authentication and is meant to sit behind one machine's trust
+#: boundary (docs/SERVING.md).
+DEFAULT_HOST = "127.0.0.1"
+
+#: The request operations the service accepts.
+OPS = ("run", "latency", "sweep", "report")
+
+#: Node counts accepted for ``MachineConfig.tiny`` machines (mirrors
+#: the CLI's ``--nodes`` choices).
+TINY_NODES = (2, 4, 8, 16)
+
+
+class ServiceError(ValueError):
+    """A request the service rejects (streamed back as ``svc.error``)."""
+
+
+def _normalise(request) -> Dict:
+    """Validate a raw request dict into its canonical form.
+
+    Returns ``{op, apps, variants, nodes, scale, interval_us,
+    no_cache}`` with every field defaulted and validated, or raises
+    :class:`ServiceError`.  ``run``/``latency`` requests name one
+    ``app`` (and optional ``variant``); ``sweep``/``report`` requests
+    name ``apps`` (and optional ``variants``).
+    """
+    if not isinstance(request, dict):
+        raise ServiceError("request must be a JSON object")
+    op = request.get("op", "run")
+    if op not in OPS:
+        raise ServiceError(f"unknown op {op!r}; choose from "
+                           f"{', '.join(OPS)}")
+    if op in ("run", "latency"):
+        app = request.get("app")
+        apps = [app] if app is not None else list(request.get("apps") or [])
+        if len(apps) != 1:
+            raise ServiceError(f"op {op!r} takes exactly one app")
+        variant = request.get("variant")
+        variants = ([variant] if variant is not None
+                    else list(request.get("variants") or ["cp_parity"]))
+        if len(variants) != 1:
+            raise ServiceError(f"op {op!r} takes exactly one variant")
+    else:
+        apps = list(request.get("apps") or [])
+        if not apps:
+            raise ServiceError(f"op {op!r} needs a non-empty 'apps' list")
+        variants = list(request.get("variants")
+                        or ["baseline", "cp_parity"])
+    unknown = sorted(set(apps) - set(APP_NAMES))
+    if unknown:
+        raise ServiceError(f"unknown apps: {', '.join(unknown)}")
+    unknown = sorted(set(variants) - set(VARIANTS))
+    if unknown:
+        raise ServiceError(f"unknown variants: {', '.join(unknown)}")
+    if op == "report" and "baseline" not in variants:
+        raise ServiceError("op 'report' needs the 'baseline' variant "
+                           "to compute overheads against")
+    nodes = request.get("nodes")
+    if nodes is not None and nodes not in TINY_NODES:
+        raise ServiceError(f"nodes must be one of {TINY_NODES} (or null "
+                           f"for the 16-node bench machine)")
+    scale = request.get("scale", 0.1)
+    if not isinstance(scale, (int, float)) or scale <= 0:
+        raise ServiceError("scale must be a positive number")
+    interval_us = request.get("interval_us", DEFAULT_INTERVAL_NS / 1000)
+    if not isinstance(interval_us, (int, float)) or interval_us <= 0:
+        raise ServiceError("interval_us must be a positive number")
+    return {"op": op, "apps": apps, "variants": variants, "nodes": nodes,
+            "scale": float(scale), "interval_us": float(interval_us),
+            "no_cache": bool(request.get("no_cache", False))}
+
+
+def request_key(req: Dict) -> str:
+    """sha256 over the canonical normalised request (stream identity)."""
+    blob = json.dumps(req, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _service_execute(payload: Tuple[str, str, Dict, str]):
+    """Worker body: one traced cell through the sweep executor.
+
+    Module-level so it pickles into the process pool.  Reuses
+    :func:`repro.harness.parallel._execute` — the same code path as a
+    traced ``repro sweep`` — so the manifest (and therefore the config
+    digest and every stored byte) is identical to what a sweep of the
+    same cell produces.  The trace spools through a scratch file and
+    rides back as bytes.
+    """
+    app, variant, kwargs, spool_dir = payload
+    os.makedirs(spool_dir, exist_ok=True)
+    base = os.path.join(spool_dir, f"{app}__{variant}")
+    kwargs = dict(kwargs)
+    kwargs["_trace"] = {"path": base + ".jsonl",
+                        "ledger_path": base + ".ledger.json",
+                        "categories": None}
+    _index, result, manifest = parallel._execute((0, (app, variant, kwargs)))
+    with open(base + ".jsonl", "rb") as handle:
+        trace = handle.read()
+    return result, manifest, trace
+
+
+class SimulationService:
+    """Request → event-stream core of the simulation service.
+
+    ``cache_dir=None`` disables the result store entirely (every
+    request simulates); otherwise results are served from / stored
+    into a :class:`ResultStore` there, bounded by ``max_cache_bytes``.
+    ``workers`` sizes the process pool for cache misses (default: CPU
+    count capped at 4); environments without multiprocessing fall back
+    to a thread.  ``self.health`` is a :class:`MonitorSuite` holding a
+    :class:`CacheHealthMonitor` fed by the store's ``svc.cache_*``
+    events — ``service.health.verdicts()`` is the live cache health.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 max_cache_bytes: Optional[int] = None) -> None:
+        self.workers = workers or max(1, min(os.cpu_count() or 1, 4))
+        self.health = MonitorSuite([CacheHealthMonitor()])
+        self.store: Optional[ResultStore] = None
+        if cache_dir is not None:
+            self.store = ResultStore(cache_dir, max_bytes=max_cache_bytes,
+                                     tracer=Tracer(self.health))
+        self._inflight: Dict[str, asyncio.Task] = {}
+        self._executor = None
+        self._executor_broken = False
+
+    # -- request handling ----------------------------------------------
+
+    def _jobs_for(self, req: Dict) -> List[Tuple[str, str, Dict]]:
+        """The request's cells, through the canonical sweep job list.
+
+        Going through :func:`~repro.harness.parallel.sweep_jobs` (with
+        the same tiny-machine overrides the CLI applies for
+        ``--nodes``) guarantees the run kwargs — and therefore the
+        config digests and cache keys — match CLI sweeps exactly.
+        """
+        from repro.machine.config import MachineConfig
+
+        nodes = req["nodes"]
+        machine_config = MachineConfig.tiny(nodes) if nodes else None
+        return parallel.sweep_jobs(
+            req["apps"], req["variants"], scale=req["scale"],
+            n_procs=nodes or 16,
+            interval_ns=int(req["interval_us"] * 1000),
+            machine_config=machine_config,
+            **tiny_revive_overrides(nodes))
+
+    async def events(self, request) -> AsyncIterator[Dict]:
+        """Handle one request, yielding enveloped ``svc.*`` events.
+
+        The stream is ``svc.accepted``, then per cell (in canonical
+        job order): ``svc.cache_hit`` *or* ``svc.cache_miss`` +
+        ``svc.scheduled``/``svc.coalesced``, then ``svc.verdicts``,
+        ``svc.latency``, ``svc.result``; then ``svc.report`` for
+        ``report`` requests; then ``svc.done``.  Any rejection or
+        internal failure ends the stream with ``svc.error`` instead.
+        Events carry the standard trace envelope at ``ts`` 0 and pass
+        ``repro trace-lint``.
+        """
+        seq = 0
+
+        def env(name: str, **fields) -> Dict:
+            nonlocal seq
+            event = {"v": SCHEMA_VERSION, "seq": seq, "ts": 0,
+                     "cat": "svc", "name": name}
+            event.update(fields)
+            seq += 1
+            return event
+
+        try:
+            req = _normalise(request)
+            key = request_key(req)
+            yield env("svc.accepted", op=req["op"], key=key)
+
+            jobs = self._jobs_for(req)
+            use_cache = self.store is not None and not req["no_cache"]
+            cells = []
+            for app, variant, kwargs in jobs:
+                jkey = store_key(job_digest(app, variant, kwargs))
+                entry = self.store.get(jkey) if use_cache else None
+                if entry is not None and (
+                        entry.payload.get("manifest") is None
+                        or not entry.has_artifact(TRACE_ARTIFACT)):
+                    # Result-only entry (untraced sweep): the service
+                    # needs verdicts + trace; re-run upgrades it.
+                    entry = None
+                task = None
+                coalesced = False
+                if entry is None:
+                    task = self._inflight.get(jkey) if use_cache else None
+                    coalesced = task is not None
+                    if task is None:
+                        task = asyncio.ensure_future(self._run_and_store(
+                            jkey, app, variant, kwargs,
+                            register=use_cache, store=use_cache))
+                        if use_cache:
+                            self._inflight[jkey] = task
+                cells.append((app, variant, jkey, entry, task, coalesced))
+
+            results: Dict[Tuple[str, str], Tuple] = {}
+            hits = 0
+            for app, variant, jkey, entry, task, coalesced in cells:
+                if entry is not None:
+                    hits += 1
+                    yield env("svc.cache_hit", key=jkey)
+                    result = result_from_payload(entry.payload)
+                    manifest = entry.payload["manifest"]
+                    cached = True
+                else:
+                    yield env("svc.cache_miss", key=jkey)
+                    yield env("svc.coalesced" if coalesced
+                              else "svc.scheduled", key=jkey)
+                    result, manifest = await task
+                    cached = False
+                results[(app, variant)] = (result, manifest)
+                yield env("svc.verdicts", key=jkey, app=app,
+                          variant=variant, verdicts=manifest["verdicts"])
+                latency = manifest["verdicts"].get("span_latency", {})
+                yield env("svc.latency", key=jkey, app=app, variant=variant,
+                          classes=latency.get("classes", {}))
+                yield env("svc.result", key=jkey, app=app, variant=variant,
+                          cached=cached,
+                          result=dataclasses.asdict(result))
+
+            if req["op"] == "report":
+                rows = []
+                for app in req["apps"]:
+                    base, _ = results[(app, "baseline")]
+                    row = {"app": app,
+                           "baseline_ns": base.execution_time_ns}
+                    for variant in req["variants"]:
+                        if variant != "baseline":
+                            row[variant] = \
+                                results[(app, variant)][0].overhead_vs(base)
+                    rows.append(row)
+                yield env("svc.report", key=key, rows=rows)
+
+            yield env("svc.done", key=key, jobs=len(jobs), cached=hits)
+        except ServiceError as exc:
+            yield env("svc.error", error=str(exc))
+        except Exception as exc:  # noqa: BLE001 — stream, don't crash
+            yield env("svc.error", error=f"internal: {exc!r}")
+
+    # -- execution -----------------------------------------------------
+
+    def _ensure_executor(self):
+        """The process pool, or None to use the loop's thread executor."""
+        if self._executor_broken:
+            return None
+        if self._executor is None:
+            try:
+                import multiprocessing as mp
+                from concurrent.futures import ProcessPoolExecutor
+
+                # Workers are spawned lazily at first submit — which
+                # happens mid-connection.  A fork at that point would
+                # inherit the accepted socket into the (long-lived)
+                # worker, keeping client connections open after the
+                # server closes them; spawn (fork+exec) drops every
+                # non-inheritable fd, so workers never pin a stream.
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=mp.get_context("spawn"))
+            except (OSError, ImportError, PermissionError, ValueError):
+                self._executor_broken = True
+                return None
+        return self._executor
+
+    async def _run_and_store(self, key: str, app: str, variant: str,
+                             kwargs: Dict, register: bool,
+                             store: bool) -> Tuple:
+        """Simulate one cell in the pool; store the entry on the way out."""
+        try:
+            loop = asyncio.get_running_loop()
+            spool = tempfile.mkdtemp(prefix="repro-serve-")
+            payload = (app, variant, kwargs, spool)
+            try:
+                from concurrent.futures.process import BrokenProcessPool
+
+                executor = self._ensure_executor()
+                try:
+                    result, manifest, trace = await loop.run_in_executor(
+                        executor, _service_execute, payload)
+                except (OSError, PermissionError, BrokenProcessPool):
+                    if executor is None:
+                        raise
+                    # The pool died (fork restrictions, OOM-killed
+                    # worker, ...): degrade to the thread executor.
+                    self._executor_broken = True
+                    self._executor = None
+                    result, manifest, trace = await loop.run_in_executor(
+                        None, _service_execute, payload)
+            finally:
+                shutil.rmtree(spool, ignore_errors=True)
+            if store and self.store is not None:
+                self.store.put(key, KIND_RUN, run_payload(result, manifest),
+                               artifacts={TRACE_ARTIFACT: trace})
+            return result, manifest
+        finally:
+            if register:
+                self._inflight.pop(key, None)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+
+# -- transport ----------------------------------------------------------
+
+def _event_line(event: Dict) -> bytes:
+    return (json.dumps(event, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+async def _handle(service: SimulationService,
+                  reader: asyncio.StreamReader,
+                  writer: asyncio.StreamWriter) -> None:
+    """One connection: one JSON request line in, event lines out."""
+    try:
+        line = await reader.readline()
+        if not line.strip():
+            return
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            writer.write(_event_line(
+                {"v": SCHEMA_VERSION, "seq": 0, "ts": 0, "cat": "svc",
+                 "name": "svc.error",
+                 "error": f"malformed JSON request: {exc}"}))
+            await writer.drain()
+            return
+        async for event in service.events(request):
+            writer.write(_event_line(event))
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client went away mid-stream; nothing to salvage
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def start_server(service: SimulationService,
+                       host: str = DEFAULT_HOST,
+                       port: int = DEFAULT_PORT) -> asyncio.AbstractServer:
+    """Bind the JSONL TCP server (``port=0`` picks a free port)."""
+
+    async def handler(reader, writer):
+        await _handle(service, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+def bound_port(server: asyncio.AbstractServer) -> int:
+    """The port a started server actually bound (resolves ``port=0``)."""
+    return server.sockets[0].getsockname()[1]

@@ -39,6 +39,9 @@ def main(argv=None) -> int:
                         help="worker count for the sweep comparison")
     parser.add_argument("--no-sweep", action="store_true",
                         help="skip the serial-vs-parallel sweep timing")
+    parser.add_argument("--no-cache-bench", action="store_true",
+                        help="skip the result-store hit-path latency "
+                             "measurement (and its gate)")
     parser.add_argument("--quick", action="store_true",
                         help="one round at scale 0.1 (smoke use)")
     parser.add_argument("--out", default=DEFAULT_OUT,
@@ -57,7 +60,8 @@ def main(argv=None) -> int:
     report = throughput_report(rounds=rounds, scale=scale,
                                sweep_workers=args.sweep_workers,
                                include_sweep=not args.no_sweep,
-                               sweep_scale=min(0.1, scale))
+                               sweep_scale=min(0.1, scale),
+                               include_cache=not args.no_cache_bench)
     os.makedirs(os.path.dirname(args.out), exist_ok=True)
     write_report(report, args.out)
     print(format_report(report))

@@ -23,6 +23,10 @@ Steps (documented in docs/OBSERVABILITY.md):
    the hard perf-harness floor; see docs/PERFORMANCE.md).  Catches
    "the simulator got 10x slower" mistakes without the full
    ``tools/bench.py`` run.
+6. Serve round-trip: start ``repro serve`` on a free port with a
+   scratch cache, ``repro submit`` the same tiny run twice, and check
+   the first reports a cache miss and the second a cache hit — the
+   end-to-end path documented in docs/SERVING.md.
 
 Exits 0 when every executed step passes.
 """
@@ -40,12 +44,16 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 ENVELOPE_KEYS = {"v", "seq", "ts", "cat", "name"}
 
 
-def run(argv, **kwargs):
+def _env():
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (os.path.join(REPO_ROOT, "src"),
                     env.get("PYTHONPATH")) if p)
-    return subprocess.run(argv, cwd=REPO_ROOT, env=env, **kwargs)
+    return env
+
+
+def run(argv, **kwargs):
+    return subprocess.run(argv, cwd=REPO_ROOT, env=_env(), **kwargs)
 
 
 def step_cli_help() -> None:
@@ -111,19 +119,61 @@ def step_perf_smoke() -> None:
           f"({exhibit['refs']} refs in {exhibit['wall_seconds_best']:.2f}s)")
 
 
+def step_serve_round_trip() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", "0", "--workers", "1",
+             "--cache-dir", os.path.join(tmp, "cache")],
+            cwd=REPO_ROOT, env=_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, start_new_session=True)
+        try:
+            banner = server.stdout.readline().strip()
+            # "serving on HOST:PORT (cache: ..., workers: N)"
+            if "serving on" not in banner:
+                raise SystemExit(f"repro serve printed no banner: "
+                                 f"{banner!r}")
+            port = banner.split()[2].rsplit(":", 1)[1]
+            submit = [sys.executable, "-m", "repro", "submit", "lu",
+                      "--nodes", "4", "--scale", "0.05",
+                      "--interval-us", "50", "--port", port]
+            first = run(submit, capture_output=True, text=True,
+                        timeout=180)
+            if first.returncode != 0 or "cache miss" not in first.stdout:
+                raise SystemExit("first submit should simulate (cache "
+                                 f"miss):\n{first.stdout}\n{first.stderr}")
+            second = run(submit, capture_output=True, text=True,
+                         timeout=60)
+            if second.returncode != 0 or "cache hit" not in second.stdout:
+                raise SystemExit("second submit should be served from "
+                                 "the cache (cache hit):\n"
+                                 f"{second.stdout}\n{second.stderr}")
+            print(f"  serve round-trip on port {port}: "
+                  f"miss -> simulate -> hit")
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+
 def main() -> int:
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
-    print("[1/4] repro --help")
+    print("[1/5] repro --help")
     step_cli_help()
-    print("[2/4] traced node-loss recovery (repro trace lu)")
+    print("[2/5] traced node-loss recovery (repro trace lu)")
     step_traced_run()
-    print("[3/4] ruff check")
+    print("[3/5] ruff check")
     if step_lint():
         print("  lint clean")
     else:
         print("  ruff not installed -- skipped (optional dev dependency)")
-    print("[4/4] perf smoke")
+    print("[4/5] perf smoke")
     step_perf_smoke()
+    print("[5/5] repro serve round-trip (cache miss -> hit)")
+    step_serve_round_trip()
     print("smoke: OK")
     return 0
 
