@@ -190,6 +190,31 @@ class SetAssocCache:
         """Number of lines currently resident."""
         return sum(len(s) for s in self._sets)
 
+    def snapshot(self) -> Dict:
+        """Plain-data state: per-set lines in LRU order, plus counters.
+
+        Dict insertion order *is* the LRU order, so each set serialises
+        as an ordered ``[addr, state, value]`` list (docs/SNAPSHOTS.md).
+        """
+        return {"sets": [[[line.addr, line.state, line.value]
+                          for line in cache_set.values()]
+                         for cache_set in self._sets],
+                "hits": self.hits,
+                "misses": self.misses}
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`snapshot`, preserving LRU order.
+
+        The set dicts are mutated in place — the fast path binds
+        ``raw_sets()`` once, so their identities must survive a restore.
+        """
+        for cache_set, lines in zip(self._sets, state["sets"]):
+            cache_set.clear()
+            for addr, line_state, value in lines:
+                cache_set[addr] = CacheLine(addr, line_state, value)
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
     @property
     def miss_rate(self) -> float:
         """Misses / lookups since construction (or last reset)."""
@@ -265,3 +290,18 @@ class TagFilter:
         """Drop all contents."""
         for tag_set in self._sets:
             tag_set.clear()
+
+    def snapshot(self) -> Dict:
+        """Plain-data state: per-set tags in LRU order, plus counters."""
+        return {"sets": [list(tag_set) for tag_set in self._sets],
+                "hits": self.hits,
+                "misses": self.misses}
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`snapshot` in place (stable set dicts)."""
+        for tag_set, tags in zip(self._sets, state["sets"]):
+            tag_set.clear()
+            for addr in tags:
+                tag_set[addr] = None
+        self.hits = state["hits"]
+        self.misses = state["misses"]

@@ -154,6 +154,20 @@ class CacheHierarchy:
         self.l1.clear()
         self.l2.clear()
 
+    # -- snapshot / restore (docs/SNAPSHOTS.md) ------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data state of both levels plus the upgrade counter."""
+        return {"l1": self.l1.snapshot(),
+                "l2": self.l2.snapshot(),
+                "silent_upgrades": self.silent_upgrades}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot`."""
+        self.l1.restore(state["l1"])
+        self.l2.restore(state["l2"])
+        self.silent_upgrades = state["silent_upgrades"]
+
     # -- statistics ------------------------------------------------------------
 
     @property

@@ -7,6 +7,7 @@ Exposes the common workflows without writing Python::
     python -m repro compare radix             # all five variants
     python -m repro sweep lu fft --workers 4  # parallel app x variant sweep
     python -m repro recover lu --lost-node 3  # fault injection + recovery
+    python -m repro campaign lu --workers 4   # fork-based fault campaign
     python -m repro trace lu --out out.jsonl  # traced node-loss recovery
     python -m repro report sweep_traces/      # dashboard from traces/ledgers
     python -m repro latency out.jsonl         # span latency percentiles
@@ -135,6 +136,44 @@ def make_parser() -> argparse.ArgumentParser:
                             "--trace-dir traces")
     _cache_flags(swp_p)
 
+    cam_p = sub.add_parser(
+        "campaign",
+        help="fork-based fault campaign: warm one machine to N "
+             "checkpoints, snapshot it (content-addressed in "
+             "--cache-dir), and fork the lost-node x detection-latency "
+             "grid from the warm image across worker processes "
+             "(docs/SNAPSHOTS.md)")
+    _common(cam_p, default_scale=0.5, default_interval_us=50.0,
+            default_nodes=4)
+    cam_p.add_argument("--variant", choices=("cp_parity", "cp_mirroring"),
+                       default="cp_parity")
+    cam_p.add_argument("--warm", type=int, default=2, metavar="N",
+                       help="checkpoints committed before the snapshot "
+                            "(default 2)")
+    cam_p.add_argument("--lost-nodes", default="none,1", metavar="N1,N2",
+                       help="comma-separated fault sites; 'none' injects "
+                            "a memory-intact transient fault "
+                            "(default none,1)")
+    cam_p.add_argument("--detect-fractions", default="0.2,0.5,0.8",
+                       metavar="F1,F2",
+                       help="detection latencies as fractions of the "
+                            "checkpoint interval (default 0.2,0.5,0.8)")
+    cam_p.add_argument("--hybrid-fractions", default=None, metavar="F1,F2",
+                       help="optional mirrored_fraction axis; each "
+                            "fraction warms its own image")
+    cam_p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the fault grid")
+    cam_p.add_argument("--serial", action="store_true",
+                       help="run the grid in-process")
+    cam_p.add_argument("--cold", action="store_true",
+                       help="re-simulate the warm-up in every scenario "
+                            "instead of forking (the perf-gate baseline)")
+    cam_p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write the campaign's snap.* events as JSONL")
+    cam_p.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the full campaign as JSON")
+    _cache_flags(cam_p)
+
     srv_p = sub.add_parser(
         "serve",
         help="run the async simulation service: accepts "
@@ -161,7 +200,8 @@ def make_parser() -> argparse.ArgumentParser:
     sbm_p.add_argument("apps", nargs="+", metavar="APP",
                        help="application(s); run/latency take exactly one")
     sbm_p.add_argument("--op", choices=("run", "latency", "sweep",
-                                        "report"), default="run",
+                                        "report", "campaign"),
+                       default="run",
                        help="request operation (default run)")
     sbm_p.add_argument("--variants", default=None, metavar="V1,V2",
                        help="comma-separated variants (default: "
@@ -527,6 +567,85 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _fraction_list(raw: str, flag: str) -> List[float]:
+    """Parse a comma-separated fraction list CLI argument."""
+    try:
+        return [float(f) for f in raw.split(",") if f.strip()]
+    except ValueError:
+        raise SystemExit(f"{flag} wants comma-separated numbers, "
+                         f"got {raw!r}")
+
+
+def cmd_campaign(args) -> int:
+    """``repro campaign``: warm once, fork the fault grid."""
+    from repro.harness.campaign import run_campaign
+
+    lost_nodes = []
+    for token in args.lost_nodes.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        lost_nodes.append(None if token == "none" else int(token))
+    detect_fractions = _fraction_list(args.detect_fractions,
+                                      "--detect-fractions")
+    hybrid_fractions = (_fraction_list(args.hybrid_fractions,
+                                       "--hybrid-fractions")
+                        if args.hybrid_fractions else None)
+    machine_config, n_procs = _machine_setup(args)
+    tracer = None
+    if args.trace:
+        tracer = Tracer(JsonlFileSink(args.trace))
+    campaign = run_campaign(
+        args.app, args.variant, warm_checkpoints=args.warm,
+        lost_nodes=tuple(lost_nodes),
+        detect_fractions=tuple(detect_fractions),
+        hybrid_fractions=hybrid_fractions,
+        scale=args.scale, n_procs=n_procs,
+        interval_ns=int(args.interval_us * 1000),
+        machine_config=machine_config, cache_dir=_cache_dir(args),
+        workers=args.workers, serial=args.serial, cold=args.cold,
+        tracer=tracer, **_tiny_revive_overrides(args))
+    rows = []
+    for outcome in campaign.outcomes:
+        lost = ("—" if outcome["lost_node"] is None
+                else str(outcome["lost_node"]))
+        row = [lost, f"{outcome['detect_fraction']:.2f}",
+               f"{outcome['lost_work_ns'] / 1e3:.0f}",
+               f"{outcome['breakdown']['log_rebuild'] / 1e3:.0f}",
+               f"{outcome['breakdown']['rollback'] / 1e3:.0f}",
+               f"{outcome['unavailable_ns'] / 1e6:.1f}"]
+        if outcome["hybrid_fraction"] is not None:
+            row.insert(0, f"{outcome['hybrid_fraction']:.2f}")
+        rows.append(row)
+    headers = ["Lost node", "Detect", "Lost work (us)",
+               "Log rebuild (us)", "Rollback (us)", "Unavailable (ms)"]
+    if any(o["hybrid_fraction"] is not None for o in campaign.outcomes):
+        headers.insert(0, "Hybrid")
+    mode = ("cold" if campaign.cold
+            else f"{campaign.workers} workers" if campaign.parallel
+            else "forked, serial")
+    print(format_table(
+        headers, rows,
+        title=f"{args.app} on {VARIANT_LABELS[args.variant]}: "
+              f"{len(campaign.outcomes)} scenarios in "
+              f"{campaign.wall_seconds:.1f}s ({mode})"))
+    if not campaign.cold:
+        for image in campaign.images:
+            state = "cached" if image["cached"] else "captured"
+            print(f"warm image {image['key'][:12]}: "
+                  f"{image['bytes'] / 1024:.0f}KB ({state})")
+    if tracer is not None:
+        tracer.close()
+        print(f"trace: {tracer.events_emitted} events -> {args.trace}")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(campaign.to_jsonable(), fh, indent=2)
+        print(f"campaign: {args.json}")
+    return 0
+
+
 def cmd_recover(args) -> int:
     """``repro recover``: fault injection + verified recovery."""
     interval = int(args.interval_us * 1000)
@@ -885,7 +1004,7 @@ def cmd_submit(args) -> int:
     request = {"op": args.op, "nodes": args.nodes, "scale": args.scale,
                "interval_us": args.interval_us,
                "no_cache": args.no_cache}
-    if args.op in ("run", "latency"):
+    if args.op in ("run", "latency", "campaign"):
         if len(args.apps) != 1:
             raise SystemExit(f"op {args.op!r} takes exactly one app")
         request["app"] = args.apps[0]
@@ -954,6 +1073,22 @@ def _print_submit_event(event: dict) -> int:
                 if variant not in ("app", "baseline_ns"))
             print(f"  {row['app']}: baseline "
                   f"{row['baseline_ns'] / 1e3:.1f}us; {overheads}")
+    elif name == "snap.capture":
+        print(f"  warm image {short}: {event['bytes'] / 1024:.0f}KB "
+              f"captured at epoch {event['epoch']} "
+              f"in {event['dur_ms']}ms")
+    elif name == "snap.restore":
+        print(f"  warm image {short}: {event['bytes'] / 1024:.0f}KB "
+              f"from cache")
+    elif name == "snap.fork":
+        print(f"  forking {event['scenarios']} scenarios from {short}")
+    elif name == "svc.campaign":
+        for outcome in event["outcomes"]:
+            lost = ("transient" if outcome["lost_node"] is None
+                    else f"node {outcome['lost_node']} lost")
+            print(f"  {lost}, detect {outcome['detect_fraction']:.2f}: "
+                  f"lost work {outcome['lost_work_ns'] / 1e3:.0f}us, "
+                  f"unavailable {outcome['unavailable_ns'] / 1e6:.1f}ms")
     elif name == "svc.done":
         print(f"done: {event['jobs']} jobs, {event['cached']} from cache")
     elif name == "svc.error":
@@ -975,6 +1110,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_compare(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "campaign":
+        return cmd_campaign(args)
     if args.command == "trace":
         return cmd_trace(args)
     if args.command == "report":

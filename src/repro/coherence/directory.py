@@ -112,5 +112,28 @@ class Directory:
                              entries=len(self._entries))
         self._entries.clear()
 
+    def snapshot(self) -> Dict:
+        """Plain-data state: entries in insertion order.
+
+        Each entry serialises as ``[addr, state, sorted(sharers), owner,
+        busy_until]``; insertion order is preserved so lazily-created
+        entries reappear in the same order after a restore (dict
+        iteration order is observable through :meth:`entries`).
+        """
+        return {"entries": [[addr, e.state, sorted(e.sharers), e.owner,
+                             e.busy_until]
+                            for addr, e in self._entries.items()]}
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`snapshot`."""
+        self._entries.clear()
+        for addr, dir_state, sharers, owner, busy_until in state["entries"]:
+            entry = DirEntry()
+            entry.state = dir_state
+            entry.sharers = set(sharers)
+            entry.owner = owner
+            entry.busy_until = busy_until
+            self._entries[addr] = entry
+
     def __len__(self) -> int:
         return len(self._entries)

@@ -149,6 +149,14 @@ class CheckpointCoordinator:
         """Epoch number of the most recently committed checkpoint."""
         return self.checkpoints_committed
 
+    def snapshot(self) -> dict:
+        """Plain-data state: the commit-time history."""
+        return {"commit_times": list(self.commit_times)}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (docs/SNAPSHOTS.md)."""
+        self.commit_times[:] = state["commit_times"]
+
     def next_trigger_after(self, commit_time: int) -> int:
         """When the next periodic checkpoint should fire."""
         return commit_time + self.interval_ns

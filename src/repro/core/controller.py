@@ -249,6 +249,17 @@ class ReViveController:
         self._check_log_pressure(log)
         return ack
 
+    def snapshot(self) -> dict:
+        """Plain-data state: per-node logs + metadata write-combine fill."""
+        return {"logs": {n: log.snapshot() for n, log in self.logs.items()},
+                "meta_pending": dict(self._meta_pending)}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (docs/SNAPSHOTS.md)."""
+        for n, log_state in state["logs"].items():
+            self.logs[n].restore(log_state)
+        self._meta_pending.update(state["meta_pending"])
+
     def _check_log_pressure(self, log: MemoryLog) -> None:
         """Request an early checkpoint when a log nears capacity."""
         fraction = self.machine.revive_config.emergency_checkpoint_fraction

@@ -152,6 +152,24 @@ class IOManager:
             log.gang_clear_logged()
         return dropped
 
+    # -- snapshot / restore (docs/SNAPSHOTS.md) ----------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data state: buffer logs + released/seen record lists."""
+        def _rec(r: IORecord) -> list:
+            return [r.node, r.port, r.payload, r.epoch, r.is_output]
+        return {"buffers": {n: log.snapshot()
+                            for n, log in self.buffers.items()},
+                "released": [_rec(r) for r in self.released],
+                "inputs_seen": [_rec(r) for r in self.inputs_seen]}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot`."""
+        for n, log_state in state["buffers"].items():
+            self.buffers[n].restore(log_state)
+        self.released[:] = [IORecord(*r) for r in state["released"]]
+        self.inputs_seen[:] = [IORecord(*r) for r in state["inputs_seen"]]
+
     # -- queries ---------------------------------------------------------------------
 
     def pending_outputs(self) -> List[IORecord]:

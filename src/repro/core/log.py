@@ -332,6 +332,32 @@ class MemoryLog:
             del self.epoch_start[epoch]
         self.logged_lines.clear()
 
+    # -- snapshot / restore (docs/SNAPSHOTS.md) ----------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data state: pointers, epochs, L bits (in LRU order)."""
+        return {"head": self.head,
+                "tail": self.tail,
+                "current_epoch": self.current_epoch,
+                "epoch_start": list(self.epoch_start.items()),
+                "logged_lines": list(self.logged_lines),
+                "max_bytes_used": self.max_bytes_used,
+                "appends": self.appends}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (geometry is reconstructed by
+        the owning machine; only mutable state is carried)."""
+        self.head = state["head"]
+        self.tail = state["tail"]
+        self.current_epoch = state["current_epoch"]
+        self.epoch_start.clear()
+        self.epoch_start.update(state["epoch_start"])
+        self.logged_lines.clear()
+        for line_addr in state["logged_lines"]:
+            self.logged_lines[line_addr] = None
+        self.max_bytes_used = state["max_bytes_used"]
+        self.appends = state["appends"]
+
     # -- statistics --------------------------------------------------------------
 
     @property

@@ -124,6 +124,16 @@ class ParityEngine:
         self.apply_update(line_addr, old_value, new_value)
         return self.time_update(line_addr, at, sequential=sequential)
 
+    # -- snapshot / restore (docs/SNAPSHOTS.md) --------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data state (the update counter; contents live in memory)."""
+        return {"updates": self.updates}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot`."""
+        self.updates = state["updates"]
+
     # -- reconstruction (used by recovery, Phases 2-4) -------------------------
 
     def reconstruct_line(self, line_addr: int) -> int:

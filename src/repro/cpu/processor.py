@@ -56,7 +56,7 @@ class Processor:
     __slots__ = ("machine", "node_id", "time", "finished", "killed",
                  "finish_time", "mem_refs", "_stream", "_gaps", "_vaddrs",
                  "_writes", "_index", "_barrier_index", "_waiting_barrier",
-                 "fastpath", "_batch_fn")
+                 "_chunks", "fastpath", "_batch_fn")
 
     def __init__(self, machine: "Machine", node_id: int,
                  stream: Iterator) -> None:
@@ -74,6 +74,7 @@ class Processor:
         self._index = 0
         self._barrier_index = 0          # how many barriers passed
         self._waiting_barrier = False
+        self._chunks = 0                 # stream chunks consumed so far
         #: Per-processor fast-path switch (tests flip it to compare).
         self.fastpath = FASTPATH_DEFAULT
         self._batch_fn = None
@@ -109,6 +110,64 @@ class Processor:
         batch re-binds against the new state.
         """
         self._batch_fn = None
+
+    # -- snapshot / restore (docs/SNAPSHOTS.md) ------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data state: cursors and counters, not the stream itself.
+
+        The workload stream is a pure deterministic generator, so its
+        position is fully described by the number of chunks consumed —
+        :meth:`restore` rebuilds the stream and fast-forwards it.  The
+        compiled fast-path closure and its batch-local counters need no
+        capture: counters are flushed to the shared statistics at every
+        batch boundary, and snapshots are only taken between batches.
+        """
+        return {
+            "time": self.time,
+            "finished": self.finished,
+            "killed": self.killed,
+            "finish_time": self.finish_time,
+            "mem_refs": self.mem_refs,
+            "index": self._index,
+            "barrier_index": self._barrier_index,
+            "waiting_barrier": self._waiting_barrier,
+            "chunks": self._chunks,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot`, replaying the workload stream.
+
+        The machine's workload must already be attached.  The current
+        reference chunk (if the snapshot rests mid-chunk) is re-derived
+        from the replayed stream's final yield; barrier and marker
+        chunks leave the reference arrays empty, exactly as
+        :meth:`_next_chunk` does.
+        """
+        self.time = state["time"]
+        self.finished = state["finished"]
+        self.killed = state["killed"]
+        self.finish_time = state["finish_time"]
+        self.mem_refs = state["mem_refs"]
+        self._index = state["index"]
+        self._barrier_index = state["barrier_index"]
+        self._waiting_barrier = state["waiting_barrier"]
+        self._chunks = state["chunks"]
+        self._batch_fn = None
+        self._gaps, self._vaddrs, self._writes = [], [], []
+        if self.finished:
+            return
+        stream, last = self.machine.workload.replay_stream(self.node_id,
+                                                           self._chunks)
+        self._stream = stream
+        if last is not None and last[0] not in ("warmup_done", "barrier"):
+            _tag, gaps, vaddrs, writes = last
+            self._gaps = (gaps.tolist() if hasattr(gaps, "tolist")
+                          else list(gaps))
+            self._vaddrs = (vaddrs.tolist() if hasattr(vaddrs, "tolist")
+                            else list(vaddrs))
+            self._writes = (writes.tolist() if hasattr(writes, "tolist")
+                            else list(writes))
 
     # -- execution ---------------------------------------------------------------
 
@@ -366,6 +425,7 @@ class Processor:
         non-negative time to resched at, or -1 when the stream ends."""
         try:
             chunk = next(self._stream)
+            self._chunks += 1
         except StopIteration:
             self.finished = True
             self.finish_time = self.time

@@ -1,0 +1,387 @@
+"""Fork-based fault campaigns: warm once, fork the fault grid.
+
+The Figure 12 recovery study re-simulates the same warm-up — boot,
+warm-up phase, ``warm_checkpoints`` committed checkpoints — for every
+fault scenario, even though the scenarios only diverge *after* the
+fault is injected.  :func:`run_campaign` removes the repetition:
+
+1. **Warm once.**  One machine runs to ``warm_checkpoints`` commits
+   (the fig12 horizon-stepping loop).
+2. **Capture.**  ``machine.snapshot()`` (see docs/SNAPSHOTS.md) is
+   pickled into a *warm image* and stored as a content-addressed
+   artifact in the :class:`~repro.harness.store.ResultStore` under
+   :func:`~repro.harness.store.snapshot_key` — a later campaign over
+   the same configuration skips the warm-up entirely.
+3. **Fork.**  Every scenario of the fault grid — ``lost_node`` ×
+   ``detect_fraction`` (× ``hybrid_fraction``, which changes machine
+   geometry and therefore gets its own warm image) — restores the
+   image into a fresh machine, runs only the detection window, injects
+   its fault, and recovers.  Scenarios fan out over a worker pool with
+   the same serial fallback as :func:`~repro.harness.parallel.run_sweep`.
+
+Because snapshot/restore is bit-identical to uninterrupted execution
+(``tests/test_snapshot_oracle.py``), the forked outcomes are exactly
+the outcomes of cold per-scenario replays — ``cold=True`` runs the
+grid that way for cross-checking and for the
+``CAMPAIGN_MIN_SPEEDUP`` perf gate (``harness/perf.py``).
+
+Campaign progress is observable: pass ``tracer=`` and the runner emits
+``snap.capture`` (image built), ``snap.restore`` (image served from
+the store), and ``snap.fork`` (grid dispatched) events — ``svc``-style
+envelope with ``ts`` 0, catalogued in ``repro.obs.lint``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.faults import NodeLossFault, TransientSystemFault
+from repro.core.recovery import RecoveryManager
+from repro.harness.runner import DEFAULT_INTERVAL_NS, build_machine
+from repro.obs.tracer import Tracer
+from repro.workloads.registry import get_workload
+
+#: Detection latencies of the default grid, as fractions of the
+#: checkpoint interval.  0.8 is the paper's worst case (Section 6.3);
+#: the smaller fractions reproduce its detection-latency sensitivity
+#: discussion.
+DEFAULT_DETECT_FRACTIONS = (0.2, 0.5, 0.8)
+
+#: Fault sites of the default grid: one lost node, plus ``None`` for
+#: the memory-intact transient fault (Phases 2/4 skipped).
+DEFAULT_LOST_NODES: Tuple[Optional[int], ...] = (None, 1)
+
+
+def campaign_scenarios(
+        lost_nodes: Sequence[Optional[int]] = DEFAULT_LOST_NODES,
+        detect_fractions: Sequence[float] = DEFAULT_DETECT_FRACTIONS,
+        hybrid_fractions: Sequence[Optional[float]] = (None,),
+) -> List[Dict]:
+    """The deterministic scenario list: hybrid-major, then lost node,
+    then detection fraction.  The list order is the canonical outcome
+    order, independent of worker scheduling."""
+    scenarios = []
+    for hybrid in hybrid_fractions:
+        for lost in lost_nodes:
+            for fraction in detect_fractions:
+                scenarios.append({"hybrid_fraction": hybrid,
+                                  "lost_node": lost,
+                                  "detect_fraction": fraction})
+    return scenarios
+
+
+def warm_machine(app: str, variant: str, run_kwargs: Dict,
+                 warm_checkpoints: int):
+    """Build and run one machine to ``warm_checkpoints`` commits.
+
+    The fig12 warm-up loop: step the horizon one interval at a time so
+    the run pauses as soon as the target commit lands.  Raises when
+    the workload finishes first — the campaign needs a live machine.
+    """
+    kwargs = dict(run_kwargs)
+    interval_ns = kwargs.pop("interval_ns", DEFAULT_INTERVAL_NS)
+    scale = kwargs.pop("scale", 1.0)
+    n_procs = kwargs.pop("n_procs", 16)
+    machine_config = kwargs.pop("machine_config", None)
+    machine = build_machine(variant, machine_config, interval_ns, **kwargs)
+    if machine.checkpointing is None:
+        raise ValueError(f"variant {variant!r} takes no checkpoints; "
+                         f"campaigns need a checkpointing variant")
+    machine.attach_workload(get_workload(app, scale=scale, n_procs=n_procs))
+    horizon = (warm_checkpoints + 1) * interval_ns
+    while machine.checkpointing.checkpoints_committed < warm_checkpoints:
+        if machine.all_finished:
+            raise RuntimeError(
+                f"{app}: fewer than {warm_checkpoints} checkpoints in the "
+                f"whole run; shorten the interval or scale up the run")
+        machine.run(until=horizon)
+        horizon += interval_ns
+    return machine
+
+
+# ---------------------------------------------------------------------------
+# Worker pool
+# ---------------------------------------------------------------------------
+
+#: Per-worker campaign context, set by :func:`_init_worker` (in the
+#: pool initializer, or directly for the serial path).
+_CTX: Optional[Dict] = None
+
+
+def _init_worker(ctx: Dict) -> None:
+    """Pool initializer: stash the shared campaign context."""
+    global _CTX
+    _CTX = ctx
+
+
+def _run_scenario(payload: Tuple[int, Dict]) -> Tuple[int, Dict]:
+    """Worker body: one fault scenario; module-level so it pickles.
+
+    Forked mode restores the warm image into a fresh machine; cold
+    mode re-runs the warm-up from scratch.  Either way the machine
+    then runs to its detection time, takes the fault, and recovers —
+    the outcomes are identical (the snapshot oracle guarantees it),
+    only the wall-clock differs.
+    """
+    index, scenario = payload
+    ctx = _CTX
+    app, variant = ctx["app"], ctx["variant"]
+    run_kwargs = ctx["run_kwargs"]
+    warm = ctx["warm_checkpoints"]
+    image = ctx["images"][scenario["hybrid_fraction"]]
+    if image is None:  # cold mode: pay the warm-up per scenario
+        machine = warm_machine(app, variant,
+                               _hybrid_kwargs(run_kwargs, scenario),
+                               warm)
+    else:
+        kwargs = dict(_hybrid_kwargs(run_kwargs, scenario))
+        interval_ns = kwargs.pop("interval_ns", DEFAULT_INTERVAL_NS)
+        scale = kwargs.pop("scale", 1.0)
+        n_procs = kwargs.pop("n_procs", 16)
+        machine_config = kwargs.pop("machine_config", None)
+        machine = build_machine(variant, machine_config, interval_ns,
+                                **kwargs)
+        machine.attach_workload(
+            get_workload(app, scale=scale, n_procs=n_procs))
+        machine.restore(pickle.loads(image))
+
+    interval_ns = run_kwargs.get("interval_ns", DEFAULT_INTERVAL_NS)
+    detect_time = (machine.checkpointing.commit_times[warm]
+                   + int(scenario["detect_fraction"] * interval_ns))
+    machine.run(until=detect_time)
+    lost_node = scenario["lost_node"]
+    if lost_node is not None:
+        NodeLossFault(lost_node).apply(machine)
+    else:
+        TransientSystemFault().apply(machine)
+    result = RecoveryManager(machine).recover(
+        detect_time=detect_time, lost_node=lost_node,
+        target_epoch=warm - 1)
+    outcome = dict(scenario)
+    outcome.update(
+        app=app, variant=variant, interval_ns=interval_ns,
+        detect_time=detect_time, target_epoch=result.target_epoch,
+        lost_work_ns=result.lost_work_ns,
+        unavailable_ns=result.unavailable_ns,
+        revive_recovery_ns=result.revive_recovery_ns,
+        entries_undone=result.entries_undone,
+        log_lines_rebuilt=result.log_lines_rebuilt,
+        resume_time=result.resume_time,
+        breakdown=result.breakdown(),
+    )
+    return index, outcome
+
+
+def _hybrid_kwargs(run_kwargs: Dict, scenario: Dict) -> Dict:
+    """The job kwargs of a scenario, with its hybrid override folded in."""
+    hybrid = scenario["hybrid_fraction"]
+    if hybrid is None:
+        return run_kwargs
+    kwargs = dict(run_kwargs)
+    kwargs["mirrored_fraction"] = hybrid
+    return kwargs
+
+
+# ---------------------------------------------------------------------------
+# Campaign driver
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CampaignResult:
+    """One campaign's outcomes plus how they were obtained."""
+
+    app: str
+    variant: str
+    warm_checkpoints: int
+    interval_ns: int
+    #: One outcome dict per scenario, in :func:`campaign_scenarios`
+    #: order (never completion order).
+    outcomes: List[Dict]
+    #: Per warm image: ``{"hybrid_fraction", "key", "bytes", "cached"}``
+    #: (``cached`` means served from the result store, warm-up skipped).
+    images: List[Dict] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    parallel: bool = False
+    #: True when the grid re-ran warm-ups instead of forking.
+    cold: bool = False
+
+    @property
+    def image_bytes(self) -> int:
+        """Total size of the warm images backing this campaign."""
+        return sum(image["bytes"] for image in self.images)
+
+    def to_jsonable(self) -> Dict:
+        """A JSON-ready dict of the whole campaign (stable ordering)."""
+        return {
+            "app": self.app, "variant": self.variant,
+            "warm_checkpoints": self.warm_checkpoints,
+            "interval_ns": self.interval_ns,
+            "cold": self.cold, "workers": self.workers,
+            "parallel": self.parallel,
+            "wall_seconds": self.wall_seconds,
+            "images": self.images,
+            "outcomes": self.outcomes,
+        }
+
+
+def _emit(tracer: Optional[Tracer], name: str, **fields) -> None:
+    """snap.* events ride the svc convention: outside simulated time."""
+    if tracer is not None and tracer.enabled:
+        tracer.emit(0, "snap", name, **fields)
+
+
+def _warm_image(app: str, variant: str, run_kwargs: Dict,
+                warm_checkpoints: int, cache,
+                tracer: Optional[Tracer],
+                hybrid: Optional[float]) -> Tuple[bytes, Dict]:
+    """The pickled warm image of one configuration, store-backed.
+
+    A store hit skips the warm-up and emits ``snap.restore``; a miss
+    warms a machine, captures it, stores the image (when a store is
+    in use), and emits ``snap.capture``.
+    """
+    from repro.harness import store as result_store
+
+    key = result_store.snapshot_key(app, variant, run_kwargs,
+                                    warm_checkpoints)
+    if cache is not None:
+        entry = cache.get(key)
+        if (entry is not None and entry.kind == result_store.KIND_SNAPSHOT
+                and entry.has_artifact(result_store.SNAPSHOT_ARTIFACT)):
+            start = time.perf_counter()
+            image = entry.read_artifact(result_store.SNAPSHOT_ARTIFACT)
+            _emit(tracer, "snap.restore", key=key, bytes=len(image),
+                  dur_ms=int((time.perf_counter() - start) * 1000))
+            return image, {"hybrid_fraction": hybrid, "key": key,
+                           "bytes": len(image), "cached": True}
+    start = time.perf_counter()
+    machine = warm_machine(app, variant, run_kwargs, warm_checkpoints)
+    image = pickle.dumps(machine.snapshot(),
+                         protocol=pickle.HIGHEST_PROTOCOL)
+    _emit(tracer, "snap.capture", key=key, bytes=len(image),
+          epoch=warm_checkpoints,
+          dur_ms=int((time.perf_counter() - start) * 1000))
+    if cache is not None:
+        cache.put(key, result_store.KIND_SNAPSHOT,
+                  {"app": app, "variant": variant,
+                   "warm_checkpoints": warm_checkpoints,
+                   "commit_times": list(
+                       machine.checkpointing.commit_times),
+                   "image_bytes": len(image)},
+                  artifacts={result_store.SNAPSHOT_ARTIFACT: image})
+    return image, {"hybrid_fraction": hybrid, "key": key,
+                   "bytes": len(image), "cached": False}
+
+
+def run_campaign(app: str = "fft", variant: str = "cp_parity",
+                 *, warm_checkpoints: int = 2,
+                 lost_nodes: Sequence[Optional[int]] = DEFAULT_LOST_NODES,
+                 detect_fractions: Sequence[float] = DEFAULT_DETECT_FRACTIONS,
+                 hybrid_fractions: Optional[Sequence[float]] = None,
+                 scale: float = 1.0, n_procs: int = 16,
+                 interval_ns: int = DEFAULT_INTERVAL_NS,
+                 machine_config=None,
+                 cache_dir: Optional[str] = None,
+                 cache_max_bytes: Optional[int] = None,
+                 workers: Optional[int] = None, serial: bool = False,
+                 cold: bool = False,
+                 tracer: Optional[Tracer] = None,
+                 **revive_overrides) -> CampaignResult:
+    """Run a fault campaign: one warm-up, many forked recoveries.
+
+    The grid is ``lost_nodes`` × ``detect_fractions``; passing
+    ``hybrid_fractions`` adds an outer axis where each fraction is a
+    ``mirrored_fraction`` override — different machine geometry, so
+    each fraction warms (or fetches) its own image.  ``cache_dir``
+    persists warm images in a :class:`~repro.harness.store.ResultStore`
+    so repeated campaigns over the same configuration skip straight to
+    the fork.  ``cold=True`` re-simulates the warm-up inside every
+    scenario instead — same outcomes by the snapshot oracle, used as
+    the baseline of the ``CAMPAIGN_MIN_SPEEDUP`` perf gate.
+
+    ``tracer`` observes the campaign itself (``snap.*`` events); it is
+    *not* threaded into the simulated machines, so warm images and
+    scenario outcomes stay byte-identical traced or not.
+    """
+    if warm_checkpoints < 1:
+        raise ValueError("warm_checkpoints must be >= 1")
+    run_kwargs = dict(scale=scale, n_procs=n_procs,
+                      interval_ns=interval_ns,
+                      machine_config=machine_config)
+    run_kwargs.update(revive_overrides)
+    hybrids: List[Optional[float]] = (list(hybrid_fractions)
+                                      if hybrid_fractions else [None])
+    scenarios = campaign_scenarios(lost_nodes, detect_fractions, hybrids)
+
+    cache = None
+    if cache_dir is not None:
+        from repro.harness.store import ResultStore
+
+        cache = ResultStore(cache_dir, max_bytes=cache_max_bytes)
+
+    start = time.perf_counter()
+    images: Dict[Optional[float], Optional[bytes]] = {}
+    image_meta: List[Dict] = []
+    if not cold:
+        for hybrid in hybrids:
+            kwargs = _hybrid_kwargs(run_kwargs,
+                                    {"hybrid_fraction": hybrid})
+            image, meta = _warm_image(app, variant, kwargs,
+                                      warm_checkpoints, cache, tracer,
+                                      hybrid)
+            images[hybrid] = image
+            image_meta.append(meta)
+        fork_key = image_meta[0]["key"] if image_meta else ""
+        _emit(tracer, "snap.fork", key=fork_key,
+              scenarios=len(scenarios))
+    else:
+        images = {hybrid: None for hybrid in hybrids}
+
+    ctx = {"app": app, "variant": variant, "run_kwargs": run_kwargs,
+           "warm_checkpoints": warm_checkpoints, "images": images}
+    todo = list(enumerate(scenarios))
+    indexed: Dict[int, Dict] = {}
+
+    from repro.harness.parallel import default_workers
+
+    n_workers = (workers if workers is not None
+                 else default_workers(len(todo)))
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    use_pool = not serial and n_workers > 1 and len(todo) > 1
+    ran_parallel = False
+    if use_pool:
+        try:
+            import multiprocessing as mp
+
+            with mp.Pool(processes=n_workers, initializer=_init_worker,
+                         initargs=(ctx,)) as pool:
+                for index, outcome in pool.imap_unordered(
+                        _run_scenario, todo):
+                    indexed[index] = outcome
+            ran_parallel = True
+        except (OSError, ImportError, PermissionError) as exc:
+            warnings.warn(
+                f"parallel campaign unavailable ({exc!r}); "
+                f"falling back to serial execution", RuntimeWarning,
+                stacklevel=2)
+            indexed.clear()
+    if not ran_parallel:
+        _init_worker(ctx)
+        for index, outcome in map(_run_scenario, todo):
+            indexed[index] = outcome
+        n_workers = 1
+
+    outcomes = [indexed[index] for index in range(len(scenarios))]
+    return CampaignResult(app=app, variant=variant,
+                          warm_checkpoints=warm_checkpoints,
+                          interval_ns=interval_ns, outcomes=outcomes,
+                          images=image_meta,
+                          wall_seconds=time.perf_counter() - start,
+                          workers=n_workers, parallel=ran_parallel,
+                          cold=cold)

@@ -26,19 +26,61 @@ from repro.workloads.registry import APP_NAMES, get_workload, paper_reference
 
 
 # ---------------------------------------------------------------------------
+# Result-store memoization for the drivers
+# ---------------------------------------------------------------------------
+
+def _open_store(cache_dir: Optional[str]):
+    """A :class:`ResultStore` rooted at ``cache_dir`` (None = no cache)."""
+    if cache_dir is None:
+        return None
+    from repro.harness.store import ResultStore
+
+    return ResultStore(cache_dir)
+
+
+def _cached_run_app(cache, app: str, variant: str, **kwargs):
+    """``run_app`` memoized through a result store.
+
+    Keys come from the same ledger config digest the sweep executor
+    uses, so a driver's baseline run and a later driver (or sweep) with
+    identical arguments share one simulation.  With ``cache`` None this
+    is exactly ``run_app``.
+    """
+    if cache is None:
+        return run_app(app, variant, **kwargs)
+    from repro.harness import store as result_store
+
+    key = result_store.store_key(
+        result_store.job_digest(app, variant, kwargs))
+    entry = cache.get(key)
+    if entry is not None and entry.kind == result_store.KIND_RUN:
+        return result_store.result_from_payload(entry.payload)
+    result = run_app(app, variant, **kwargs)
+    cache.put(key, result_store.KIND_RUN, result_store.run_payload(result))
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Figure 8: performance overhead of error-free execution
 # ---------------------------------------------------------------------------
 
 def fig8_overhead(apps: Sequence[str] = None, scale: float = 1.0,
-                  interval_ns: int = DEFAULT_INTERVAL_NS) -> List[Dict]:
-    """Error-free overhead of the four ReVive variants vs baseline."""
+                  interval_ns: int = DEFAULT_INTERVAL_NS,
+                  cache_dir: Optional[str] = None) -> List[Dict]:
+    """Error-free overhead of the four ReVive variants vs baseline.
+
+    ``cache_dir`` memoizes every cell through the result store — the
+    per-app baseline (shared by all four variant comparisons, and by
+    repeated invocations) is then simulated once, not once per call.
+    """
+    cache = _open_store(cache_dir)
     rows = []
     for app in apps or APP_NAMES:
-        base = run_app(app, "baseline", scale=scale)
+        base = _cached_run_app(cache, app, "baseline", scale=scale)
         row = {"app": app, "baseline_ns": base.execution_time_ns}
         for variant in VARIANTS[1:]:
-            result = run_app(app, variant, scale=scale,
-                             interval_ns=interval_ns)
+            result = _cached_run_app(cache, app, variant, scale=scale,
+                                     interval_ns=interval_ns)
             row[variant] = result.overhead_vs(base)
         rows.append(row)
     return rows
@@ -58,11 +100,13 @@ def fig8_summary(rows: List[Dict]) -> Dict[str, float]:
 # ---------------------------------------------------------------------------
 
 def _traffic_rows(kind: str, apps: Sequence[str], scale: float,
-                  interval_ns: int) -> List[Dict]:
+                  interval_ns: int,
+                  cache_dir: Optional[str] = None) -> List[Dict]:
+    cache = _open_store(cache_dir)
     rows = []
     for app in apps or APP_NAMES:
-        result = run_app(app, "cp_parity", scale=scale,
-                         interval_ns=interval_ns)
+        result = _cached_run_app(cache, app, "cp_parity", scale=scale,
+                                 interval_ns=interval_ns)
         traffic = (result.network_traffic if kind == "network"
                    else result.memory_traffic)
         row = {"app": app, "total_bytes": sum(traffic.values())}
@@ -72,17 +116,23 @@ def _traffic_rows(kind: str, apps: Sequence[str], scale: float,
 
 
 def fig9_network_traffic(apps: Sequence[str] = None, scale: float = 1.0,
-                         interval_ns: int = DEFAULT_INTERVAL_NS
+                         interval_ns: int = DEFAULT_INTERVAL_NS,
+                         cache_dir: Optional[str] = None
                          ) -> List[Dict]:
-    """Network traffic split into RD/RDX, ExeWB, CkpWB, LOG, PAR."""
-    return _traffic_rows("network", apps, scale, interval_ns)
+    """Network traffic split into RD/RDX, ExeWB, CkpWB, LOG, PAR.
+
+    With ``cache_dir``, the per-app ``cp_parity`` run is shared with
+    :func:`fig10_memory_traffic` and :func:`fig11_log_size`.
+    """
+    return _traffic_rows("network", apps, scale, interval_ns, cache_dir)
 
 
 def fig10_memory_traffic(apps: Sequence[str] = None, scale: float = 1.0,
-                         interval_ns: int = DEFAULT_INTERVAL_NS
+                         interval_ns: int = DEFAULT_INTERVAL_NS,
+                         cache_dir: Optional[str] = None
                          ) -> List[Dict]:
     """Memory traffic split into the same five categories."""
-    return _traffic_rows("memory", apps, scale, interval_ns)
+    return _traffic_rows("memory", apps, scale, interval_ns, cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -90,12 +140,14 @@ def fig10_memory_traffic(apps: Sequence[str] = None, scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def fig11_log_size(apps: Sequence[str] = None, scale: float = 1.0,
-                   interval_ns: int = DEFAULT_INTERVAL_NS) -> List[Dict]:
+                   interval_ns: int = DEFAULT_INTERVAL_NS,
+                   cache_dir: Optional[str] = None) -> List[Dict]:
     """Per-application maximum log footprint under periodic checkpoints."""
+    cache = _open_store(cache_dir)
     rows = []
     for app in apps or APP_NAMES:
-        result = run_app(app, "cp_parity", scale=scale,
-                         interval_ns=interval_ns)
+        result = _cached_run_app(cache, app, "cp_parity", scale=scale,
+                                 interval_ns=interval_ns)
         rows.append({
             "app": app,
             "max_log_bytes": result.max_log_bytes,

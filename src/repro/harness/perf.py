@@ -51,6 +51,12 @@ CACHE_HIT_MAX_SECONDS = 0.25
 #: simulation by at least this factor on the standard cache exhibit.
 CACHE_HIT_MIN_SPEEDUP = 5.0
 
+#: Hard floor on the fault campaign's fork path: replaying the Fig. 12
+#: grid from one stored warm image must beat cold per-scenario
+#: re-simulation by at least this factor on the standard campaign
+#: exhibit (docs/SNAPSHOTS.md).
+CAMPAIGN_MIN_SPEEDUP = 5.0
+
 REPORT_SCHEMA = 1
 
 
@@ -153,11 +159,68 @@ def measure_cache_hit_path(rounds: int = 3) -> Dict[str, float]:
     }
 
 
+def measure_campaign_fork_speedup(rounds: int = 2) -> Dict[str, float]:
+    """Fork-vs-cold wall clock of the fault-campaign path.
+
+    Runs the standard campaign exhibit — a nine-scenario Fig. 12 grid
+    (``fft``/cp_parity, three lost-node choices x three detection
+    latencies) warmed six checkpoints deep on a tiny 4-node machine —
+    once cold (every scenario re-simulates its own warm-up), once to
+    populate a fresh store with the warm image, and then ``rounds``
+    more times forked from the stored image, reporting the best forked
+    wall clock and the fork-vs-cold speedup.  The populate round
+    doubles as a correctness cross-check: forked outcomes must equal
+    the cold ones exactly.  Gated in :func:`hard_failures` by
+    :data:`CAMPAIGN_MIN_SPEEDUP`.
+    """
+    import shutil
+    import tempfile
+
+    from repro.harness.campaign import run_campaign
+
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    kwargs = dict(scale=0.05, n_procs=4, interval_ns=50_000,
+                  machine_config=MachineConfig.tiny(4),
+                  warm_checkpoints=6, lost_nodes=(None, 1, 2),
+                  detect_fractions=(0.1, 0.2, 0.3), serial=True,
+                  parity_group_size=3, log_bytes_per_node=64 * 1024)
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-campaign-")
+    try:
+        cold = run_campaign("fft", "cp_parity", cold=True, **kwargs)
+        populate = run_campaign("fft", "cp_parity", cache_dir=cache_dir,
+                                **kwargs)
+        assert populate.outcomes == cold.outcomes, \
+            "forked campaign outcomes diverged from cold replays"
+        forked_walls = []
+        for _ in range(rounds):
+            forked = run_campaign("fft", "cp_parity",
+                                  cache_dir=cache_dir, **kwargs)
+            assert all(image["cached"] for image in forked.images)
+            forked_walls.append(forked.wall_seconds)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    best = min(forked_walls)
+    return {
+        "scenarios": len(cold.outcomes),
+        "warm_checkpoints": 6,
+        "rounds": rounds,
+        "image_bytes": populate.image_bytes,
+        "cold_wall_seconds": cold.wall_seconds,
+        "populate_wall_seconds": populate.wall_seconds,
+        "forked_wall_seconds_best": best,
+        "forked_wall_seconds_mean": sum(forked_walls) / rounds,
+        "speedup_vs_cold": (cold.wall_seconds / best) if best else 0.0,
+        "min_speedup": CAMPAIGN_MIN_SPEEDUP,
+    }
+
+
 def throughput_report(rounds: int = 3, scale: float = 0.25,
                       sweep_workers: int = 4,
                       include_sweep: bool = True,
                       sweep_scale: float = 0.1,
-                      include_cache: bool = True) -> Dict:
+                      include_cache: bool = True,
+                      include_campaign: bool = True) -> Dict:
     """The full ``BENCH_throughput.json`` payload."""
     exhibits = {variant: measure_exhibit(variant, scale=scale,
                                          rounds=rounds)
@@ -176,6 +239,8 @@ def throughput_report(rounds: int = 3, scale: float = 0.25,
                   if include_sweep else None),
         "cache": (measure_cache_hit_path(rounds=rounds)
                   if include_cache else None),
+        "campaign": (measure_campaign_fork_speedup()
+                     if include_campaign else None),
     }
     report["regressions"] = soft_regressions(report)
     return report
@@ -225,6 +290,12 @@ def hard_failures(report: Dict) -> List[str]:
                 f"cache: hit path only {cache['speedup_vs_miss']:.1f}x "
                 f"faster than simulating (< {CACHE_HIT_MIN_SPEEDUP:.0f}x "
                 f"floor)")
+    campaign = report.get("campaign")
+    if campaign and campaign["speedup_vs_cold"] < CAMPAIGN_MIN_SPEEDUP:
+        failures.append(
+            f"campaign: forked grid only "
+            f"{campaign['speedup_vs_cold']:.1f}x faster than cold "
+            f"replays (< {CAMPAIGN_MIN_SPEEDUP:.0f}x floor)")
     return failures
 
 
@@ -259,6 +330,14 @@ def format_report(report: Dict) -> str:
             f"{cache['hit_wall_seconds_best']:.3f}s "
             f"({cache['speedup_vs_miss']:.0f}x faster than simulating, "
             f"best of {cache['rounds']})")
+    campaign = report.get("campaign")
+    if campaign:
+        lines.append(
+            f"  campaign     {campaign['scenarios']} scenarios forked "
+            f"in {campaign['forked_wall_seconds_best']:.2f}s vs "
+            f"{campaign['cold_wall_seconds']:.2f}s cold "
+            f"({campaign['speedup_vs_cold']:.1f}x, warm image "
+            f"{campaign['image_bytes']:,} bytes)")
     for warning in report.get("regressions", []):
         lines.append(f"  WARNING: {warning}")
     return "\n".join(lines)

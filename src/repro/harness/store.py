@@ -65,8 +65,34 @@ KIND_RUN = "run"
 #: Entry kind of a cached ``repro latency`` report.
 KIND_LATENCY = "latency_report"
 
+#: Entry kind of a warm machine image captured for a fault campaign.
+KIND_SNAPSHOT = "snapshot"
+
 #: Artifact name under which a run's JSONL trace is stored.
 TRACE_ARTIFACT = "trace.jsonl"
+
+#: Artifact name under which a pickled machine image is stored.
+SNAPSHOT_ARTIFACT = "image.pkl"
+
+
+def snapshot_key(app: str, variant: str, run_kwargs: Dict,
+                 warm_checkpoints: int) -> str:
+    """Store key of a warm campaign image.
+
+    Folds the job's config digest with the warm-up depth and the
+    machine-snapshot layout version
+    (:data:`~repro.machine.snapshot.SNAPSHOT_VERSION`), so layout bumps
+    orphan stale images exactly like :func:`store_key` orphans stale
+    runs.
+    """
+    from repro.machine.snapshot import SNAPSHOT_VERSION
+
+    inner = json.dumps(
+        {"config_digest": job_digest(app, variant, run_kwargs),
+         "warm_checkpoints": warm_checkpoints,
+         "snapshot_version": SNAPSHOT_VERSION},
+        sort_keys=True, separators=(",", ":"))
+    return store_key(hashlib.sha256(inner.encode("utf-8")).hexdigest())
 
 
 def job_digest(app: str, variant: str, run_kwargs: Dict,

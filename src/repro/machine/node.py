@@ -23,5 +23,21 @@ class Node:
         self.dir_resource = Resource(f"dir{node_id}",
                                      config.dir_occupancy_ns)
 
+    def snapshot(self) -> dict:
+        """Plain-data state of every node-local component."""
+        return {"hierarchy": self.hierarchy.snapshot(),
+                "directory": self.directory.snapshot(),
+                "memory": self.memory.snapshot(),
+                "mem_timing": self.mem_timing.snapshot(),
+                "dir_resource": self.dir_resource.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (docs/SNAPSHOTS.md)."""
+        self.hierarchy.restore(state["hierarchy"])
+        self.directory.restore(state["directory"])
+        self.memory.restore(state["memory"])
+        self.mem_timing.restore(state["mem_timing"])
+        self.dir_resource.restore(state["dir_resource"])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node({self.node_id})"

@@ -373,8 +373,32 @@ class Machine:
 
     def take_snapshot(self, epoch: int) -> None:
         """Photograph all memory (golden reference for recovery tests)."""
-        self.snapshots[epoch] = {node.node_id: node.memory.snapshot()
+        self.snapshots[epoch] = {node.node_id: dict(node.memory.lines())
                                  for node in self.nodes}
+
+    @staticmethod
+    def _barrier_state() -> _BarrierState:
+        """Fresh barrier bookkeeping record (snapshot restore hook)."""
+        return _BarrierState()
+
+    def snapshot(self) -> Dict:
+        """Plain-data image of all mutable state (docs/SNAPSHOTS.md).
+
+        The image is picklable and self-describing
+        (:data:`~repro.machine.snapshot.SNAPSHOT_VERSION`); apply it
+        with :meth:`restore` on a machine built with the same configs
+        and workload — e.g. in another worker process of a fault
+        campaign (``repro campaign``).
+        """
+        from repro.machine.snapshot import capture_machine
+
+        return capture_machine(self)
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`snapshot`; see machine/snapshot.py."""
+        from repro.machine.snapshot import restore_machine
+
+        restore_machine(self, state)
 
     # -- diagnostics ---------------------------------------------------------
 
@@ -471,7 +495,7 @@ class Machine:
         mismatches: List[int] = []
         for node in self.nodes:
             golden = self.snapshots[epoch][node.node_id]
-            current = node.memory.snapshot()
+            current = dict(node.memory.lines())
             for line_addr in set(golden) | set(current):
                 if line_addr in log_lines:
                     continue

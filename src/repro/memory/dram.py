@@ -54,3 +54,11 @@ class MemoryTimingModel:
     def reset(self) -> None:
         """Reset to the freshly-constructed state."""
         self.banks.reset()
+
+    def snapshot(self) -> dict:
+        """Plain-data state (the bus calendar)."""
+        return {"banks": self.banks.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot`."""
+        self.banks.restore(state["banks"])

@@ -305,6 +305,26 @@ class AddressSpace:
         self.first_touch_allocations += 1
         return base
 
+    def snapshot(self) -> Dict:
+        """Plain-data state: page table (ordered), free lists, cursors."""
+        return {"page_table": list(self._page_table.items()),
+                "free_pages": [list(free) for free in self._free_pages],
+                "fallback_node": self._fallback_node,
+                "first_touch_allocations": self.first_touch_allocations}
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`snapshot`.
+
+        The page table is mutated in place: the compiled reference fast
+        path binds ``_page_table.get`` once, so the dict identity must
+        survive a restore (docs/SNAPSHOTS.md).
+        """
+        self._page_table.clear()
+        self._page_table.update(state["page_table"])
+        self._free_pages[:] = [list(free) for free in state["free_pages"]]
+        self._fallback_node = state["fallback_node"]
+        self.first_touch_allocations = state["first_touch_allocations"]
+
     def _next_node_with_space(self) -> int:
         n_nodes = self.config.n_nodes
         for _ in range(n_nodes):

@@ -66,9 +66,15 @@ class NodeMemory:
         """Iterate over (line address, value) pairs of non-zero lines."""
         return iter(self._lines.items())
 
-    def snapshot(self) -> Dict[int, int]:
-        """Copy of the line store (golden-snapshot verification)."""
-        return dict(self._lines)
+    def snapshot(self) -> Dict:
+        """Plain-data state: non-zero lines in insertion order + lost flag."""
+        return {"lines": list(self._lines.items()), "lost": self.lost}
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`snapshot` (docs/SNAPSHOTS.md)."""
+        self._lines.clear()
+        self._lines.update(state["lines"])
+        self.lost = state["lost"]
 
     def __len__(self) -> int:
         return len(self._lines)

@@ -94,3 +94,23 @@ class Network:
         for resource in self._links.values():
             resource.reset()
         self.messages_sent = 0
+
+    def snapshot(self) -> Dict:
+        """Plain-data state: NI and link calendars plus the message count.
+
+        Keys are stringified for the link dict (tuples survive pickling
+        but the uniform snapshot format stays JSON-friendly by indexing
+        links positionally in construction order).
+        """
+        return {"ni": [self._ni[n].snapshot() for n in sorted(self._ni)],
+                "links": [self._links[key].snapshot()
+                          for key in self._links],
+                "messages_sent": self.messages_sent}
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`snapshot` (docs/SNAPSHOTS.md)."""
+        for node, ni_state in zip(sorted(self._ni), state["ni"]):
+            self._ni[node].restore(ni_state)
+        for key, link_state in zip(self._links, state["links"]):
+            self._links[key].restore(link_state)
+        self.messages_sent = state["messages_sent"]

@@ -65,7 +65,14 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "svc.result": ("key", "cached"),
     "svc.report": ("key", "rows"),
     "svc.done": ("key", "jobs", "cached"),
+    "svc.campaign": ("key", "outcomes"),
     "svc.error": ("error",),
+    # Snapshot/fork events emitted by the campaign layer
+    # (docs/SNAPSHOTS.md).  Like ``svc.*`` they happen outside simulated
+    # time, so their ``ts`` is 0 by convention.
+    "snap.capture": ("key", "bytes", "epoch", "dur_ms"),
+    "snap.restore": ("key", "bytes", "dur_ms"),
+    "snap.fork": ("key", "scenarios"),
 }
 
 

@@ -378,3 +378,59 @@ class MetricsRegistry:
                       self._log_histograms):
             for metric in table.values():
                 metric.reset()
+
+    # -- snapshot / restore (docs/SNAPSHOTS.md) ---------------------------
+
+    def state(self) -> Dict:
+        """Full plain-data state of every metric, in registration order.
+
+        Named ``state`` rather than ``snapshot`` because ``snapshot()``
+        predates the uniform capture protocol and means "flat counters
+        view"; :meth:`restore` accepts exactly this value.
+        """
+        return {
+            "counters": [[name, c.value]
+                         for name, c in self._counters.items()],
+            "gauges": [[name, g.value, g.max_value]
+                       for name, g in self._gauges.items()],
+            "histograms": [[name, h.bucket_width,
+                            list(h._buckets.items()),
+                            h.count, h.total, h.max_value]
+                           for name, h in self._histograms.items()],
+            "log_histograms": [[name, list(h._buckets.items()),
+                                h.count, h.total, h.max_value]
+                               for name, h in self._log_histograms.items()],
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`state` capture.
+
+        Metrics are get-or-created by name (registration order is
+        reproduced for a freshly-built registry) and overwritten in
+        place; metrics created since the capture but absent from it are
+        reset rather than dropped, keeping object identities stable for
+        any caller holding a metric reference.
+        """
+        self.reset_all()
+        for name, value in state["counters"]:
+            self.counter(name).value = value
+        for name, value, max_value in state["gauges"]:
+            gauge = self.gauge(name)
+            gauge.value = value
+            gauge.max_value = max_value
+        for name, width, buckets, count, total, max_value \
+                in state["histograms"]:
+            histogram = self.histogram(name, width)
+            histogram._buckets.clear()
+            histogram._buckets.update(buckets)
+            histogram.count = count
+            histogram.total = total
+            histogram.max_value = max_value
+        for name, buckets, count, total, max_value \
+                in state["log_histograms"]:
+            histogram = self.log_histogram(name)
+            histogram._buckets.clear()
+            histogram._buckets.update(buckets)
+            histogram.count = count
+            histogram.total = total
+            histogram.max_value = max_value

@@ -48,7 +48,7 @@ SCHEMA_VERSION = 2
 #: by convention.  Adding a category is additive within a schema
 #: version — readers ignore categories they do not know.
 CATEGORIES = ("sim", "coh", "mem", "log", "ckpt", "recovery", "span",
-              "svc")
+              "svc", "snap")
 
 
 class RingBufferSink:

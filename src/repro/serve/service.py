@@ -1,6 +1,7 @@
 """The async simulation service behind ``repro serve``.
 
-A :class:`SimulationService` accepts run/latency/sweep/report requests,
+A :class:`SimulationService` accepts run/latency/sweep/report/campaign
+requests,
 dedupes them against a content-addressed
 :class:`~repro.harness.store.ResultStore` keyed by the ledger config
 digest, schedules cache misses across a multiprocessing worker pool
@@ -66,7 +67,11 @@ DEFAULT_PORT = 7316
 DEFAULT_HOST = "127.0.0.1"
 
 #: The request operations the service accepts.
-OPS = ("run", "latency", "sweep", "report")
+OPS = ("run", "latency", "sweep", "report", "campaign")
+
+#: Variants a ``campaign`` request may name: the campaign warms to a
+#: committed checkpoint, so checkpoint-free configurations are out.
+CAMPAIGN_VARIANTS = ("cp_parity", "cp_mirroring")
 
 #: Node counts accepted for ``MachineConfig.tiny`` machines (mirrors
 #: the CLI's ``--nodes`` choices).
@@ -92,7 +97,7 @@ def _normalise(request) -> Dict:
     if op not in OPS:
         raise ServiceError(f"unknown op {op!r}; choose from "
                            f"{', '.join(OPS)}")
-    if op in ("run", "latency"):
+    if op in ("run", "latency", "campaign"):
         app = request.get("app")
         apps = [app] if app is not None else list(request.get("apps") or [])
         if len(apps) != 1:
@@ -102,6 +107,10 @@ def _normalise(request) -> Dict:
                     else list(request.get("variants") or ["cp_parity"]))
         if len(variants) != 1:
             raise ServiceError(f"op {op!r} takes exactly one variant")
+        if op == "campaign" and variants[0] not in CAMPAIGN_VARIANTS:
+            raise ServiceError(
+                f"op 'campaign' needs a checkpointing variant "
+                f"({', '.join(CAMPAIGN_VARIANTS)})")
     else:
         apps = list(request.get("apps") or [])
         if not apps:
@@ -127,9 +136,29 @@ def _normalise(request) -> Dict:
     interval_us = request.get("interval_us", DEFAULT_INTERVAL_NS / 1000)
     if not isinstance(interval_us, (int, float)) or interval_us <= 0:
         raise ServiceError("interval_us must be a positive number")
-    return {"op": op, "apps": apps, "variants": variants, "nodes": nodes,
-            "scale": float(scale), "interval_us": float(interval_us),
-            "no_cache": bool(request.get("no_cache", False))}
+    req = {"op": op, "apps": apps, "variants": variants, "nodes": nodes,
+           "scale": float(scale), "interval_us": float(interval_us),
+           "no_cache": bool(request.get("no_cache", False))}
+    if op == "campaign":
+        warm = request.get("warm_checkpoints", 2)
+        if not isinstance(warm, int) or warm < 1:
+            raise ServiceError("warm_checkpoints must be a positive "
+                               "integer")
+        lost_nodes = request.get("lost_nodes", [None, 1])
+        if (not isinstance(lost_nodes, list) or not lost_nodes
+                or not all(n is None or isinstance(n, int)
+                           for n in lost_nodes)):
+            raise ServiceError("lost_nodes must be a non-empty list of "
+                               "node ids (null = transient fault)")
+        fractions = request.get("detect_fractions", [0.2, 0.5, 0.8])
+        if (not isinstance(fractions, list) or not fractions
+                or not all(isinstance(f, (int, float)) and 0 < f < 1
+                           for f in fractions)):
+            raise ServiceError("detect_fractions must be a non-empty "
+                               "list of fractions in (0, 1)")
+        req.update(warm_checkpoints=warm, lost_nodes=lost_nodes,
+                   detect_fractions=[float(f) for f in fractions])
+    return req
 
 
 def request_key(req: Dict) -> str:
@@ -159,6 +188,35 @@ def _service_execute(payload: Tuple[str, str, Dict, str]):
     with open(base + ".jsonl", "rb") as handle:
         trace = handle.read()
     return result, manifest, trace
+
+
+def _service_campaign(payload: Tuple[Dict, Optional[str]]):
+    """Worker body: one fault campaign; module-level so it pickles.
+
+    Runs the campaign serially inside this worker (no nested pools)
+    with the service's result store as the warm-image cache, recording
+    the campaign's ``snap.*`` events in a ring buffer so the service
+    can re-stream them to the client.
+    """
+    from repro.harness.campaign import run_campaign
+    from repro.machine.config import MachineConfig
+    from repro.obs.tracer import RingBufferSink
+
+    req, cache_dir = payload
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    nodes = req["nodes"]
+    machine_config = MachineConfig.tiny(nodes) if nodes else None
+    campaign = run_campaign(
+        req["apps"][0], req["variants"][0],
+        warm_checkpoints=req["warm_checkpoints"],
+        lost_nodes=tuple(req["lost_nodes"]),
+        detect_fractions=tuple(req["detect_fractions"]),
+        scale=req["scale"], n_procs=nodes or 16,
+        interval_ns=int(req["interval_us"] * 1000),
+        machine_config=machine_config, cache_dir=cache_dir,
+        serial=True, tracer=tracer, **tiny_revive_overrides(nodes))
+    return campaign.to_jsonable(), sink.events()
 
 
 class SimulationService:
@@ -222,10 +280,10 @@ class SimulationService:
         """
         seq = 0
 
-        def env(name: str, **fields) -> Dict:
+        def env(name: str, cat: str = "svc", **fields) -> Dict:
             nonlocal seq
             event = {"v": SCHEMA_VERSION, "seq": seq, "ts": 0,
-                     "cat": "svc", "name": name}
+                     "cat": cat, "name": name}
             event.update(fields)
             seq += 1
             return event
@@ -234,6 +292,24 @@ class SimulationService:
             req = _normalise(request)
             key = request_key(req)
             yield env("svc.accepted", op=req["op"], key=key)
+
+            if req["op"] == "campaign":
+                use_cache = self.store is not None and not req["no_cache"]
+                campaign, snap_events = await self._run_campaign(
+                    req, self.store.root if use_cache else None)
+                # Re-stream the campaign's own snap.* events under this
+                # stream's envelope so the whole stream lints clean.
+                for snap in snap_events:
+                    fields = {k: v for k, v in snap.items()
+                              if k not in ("v", "seq", "ts", "cat", "name")}
+                    yield env(snap["name"], cat="snap", **fields)
+                yield env("svc.campaign", key=key,
+                          outcomes=campaign["outcomes"])
+                yield env("svc.done", key=key,
+                          jobs=len(campaign["outcomes"]),
+                          cached=sum(1 for image in campaign["images"]
+                                     if image["cached"]))
+                return
 
             jobs = self._jobs_for(req)
             use_cache = self.store is not None and not req["no_cache"]
@@ -328,6 +404,25 @@ class SimulationService:
                 self._executor_broken = True
                 return None
         return self._executor
+
+    async def _run_campaign(self, req: Dict,
+                            cache_dir: Optional[str]) -> Tuple:
+        """Run one fault campaign in the pool (thread fallback)."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        loop = asyncio.get_running_loop()
+        payload = (req, cache_dir)
+        executor = self._ensure_executor()
+        try:
+            return await loop.run_in_executor(
+                executor, _service_campaign, payload)
+        except (OSError, PermissionError, BrokenProcessPool):
+            if executor is None:
+                raise
+            self._executor_broken = True
+            self._executor = None
+            return await loop.run_in_executor(
+                None, _service_campaign, payload)
 
     async def _run_and_store(self, key: str, app: str, variant: str,
                              kwargs: Dict, register: bool,

@@ -8,6 +8,17 @@ activation, or ``None`` when the actor has finished.
 Times are integer nanoseconds.  The modelled core clock is 1 GHz, so one
 nanosecond is one cycle (Table 3 of the paper).
 
+Serializability (docs/SNAPSHOTS.md): the heap holds declarative
+``(time, seq, actor_id)`` descriptors — plain integers — rather than
+the actor callables themselves.  Actors are registered in a side table
+(:attr:`Simulator.actors`) in first-scheduling order, which is
+deterministic, so a snapshot of the heap is pure data and a restored
+machine that registers its actors in the same order re-derives the
+identical dispatch schedule.  :meth:`Simulator.snapshot` /
+:meth:`Simulator.restore` capture and reinstate the queue, clock, hook
+trigger time, and activation count; the hook *callable* is never
+serialized — the owning machine re-installs it on reconstruction.
+
 Observability: the simulator counts every activation it dispatches
 (``activations``) and, when a :class:`~repro.obs.tracer.Tracer` is
 installed in ``tracer``, emits the ``sim`` category events documented
@@ -21,17 +32,19 @@ run pays one attribute read per event site.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.obs.tracer import NULL_TRACER
 
 
 class EventQueue:
-    """A min-heap of ``(time, sequence, payload)`` entries.
+    """A min-heap of ``(time, sequence, actor_id)`` descriptors.
 
     The monotonically increasing sequence number makes ordering total and
     deterministic even when several entries share a timestamp, which keeps
-    whole-simulation results reproducible run to run.
+    whole-simulation results reproducible run to run.  Entries are plain
+    integer triples — the queue never holds closures — so
+    :meth:`snapshot` is a literal copy of the heap.
     """
 
     __slots__ = ("_heap", "_seq")
@@ -40,17 +53,17 @@ class EventQueue:
         self._heap: list = []
         self._seq = 0
 
-    def push(self, time: int, payload) -> None:
-        """Insert a payload at the given time."""
+    def push(self, time: int, actor_id: int) -> None:
+        """Insert an actor descriptor at the given time."""
         if time < 0:
             raise ValueError(f"cannot schedule at negative time {time}")
-        heapq.heappush(self._heap, (time, self._seq, payload))
+        heapq.heappush(self._heap, (time, self._seq, actor_id))
         self._seq += 1
 
     def pop(self):
-        """Remove and return the earliest ``(time, payload)`` entry."""
-        time, _seq, payload = heapq.heappop(self._heap)
-        return time, payload
+        """Remove and return the earliest ``(time, actor_id)`` entry."""
+        time, _seq, actor_id = heapq.heappop(self._heap)
+        return time, actor_id
 
     def peek_time(self) -> Optional[int]:
         """Return the earliest scheduled time, or ``None`` when empty."""
@@ -61,6 +74,17 @@ class EventQueue:
     def clear(self) -> None:
         """Drop all contents."""
         self._heap.clear()
+
+    def snapshot(self) -> Dict:
+        """Plain-data state: the heap entries and the sequence counter."""
+        return {"heap": [list(entry) for entry in self._heap],
+                "seq": self._seq}
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`snapshot` (entries are already heap-ordered)."""
+        self._heap = [tuple(entry) for entry in state["heap"]]
+        heapq.heapify(self._heap)
+        self._seq = state["seq"]
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -74,7 +98,9 @@ class Simulator:
 
     An actor is any callable ``actor(now) -> Optional[int]``: it performs
     its next batch of work starting at ``now`` and returns the absolute
-    time at which it wants to run again (``None`` to retire).
+    time at which it wants to run again (``None`` to retire).  Actors are
+    registered on first scheduling and addressed by their registration
+    index from then on; the heap itself only ever holds those indices.
 
     A *global hook* may be installed with :meth:`set_global_hook`; it is a
     callable ``hook(now) -> Optional[int]`` consulted before each actor
@@ -85,7 +111,7 @@ class Simulator:
     """
 
     __slots__ = ("queue", "now", "_hook", "_hook_time", "activations",
-                 "tracer")
+                 "tracer", "actors", "_actor_ids")
 
     def __init__(self) -> None:
         self.queue = EventQueue()
@@ -96,10 +122,27 @@ class Simulator:
         self.activations = 0
         #: Trace sink for ``sim.*`` events (``NULL_TRACER`` when off).
         self.tracer = NULL_TRACER
+        #: Registered actors, indexed by actor id (registration order).
+        self.actors: List[Callable[[int], Optional[int]]] = []
+        self._actor_ids: Dict[int, int] = {}
+
+    def register_actor(self, actor: Callable[[int], Optional[int]]) -> int:
+        """Assign (or look up) the actor's stable integer id.
+
+        Registration order is the id order; machines register their
+        processors in node order, so a rebuilt machine derives identical
+        ids and a snapshotted heap resolves to the equivalent actors.
+        """
+        actor_id = self._actor_ids.get(id(actor))
+        if actor_id is None:
+            actor_id = len(self.actors)
+            self.actors.append(actor)
+            self._actor_ids[id(actor)] = actor_id
+        return actor_id
 
     def schedule(self, time: int, actor: Callable[[int], Optional[int]]) -> None:
-        """Enqueue an actor's first activation."""
-        self.queue.push(time, actor)
+        """Enqueue an actor's first activation (registering it if new)."""
+        self.queue.push(time, self.register_actor(actor))
 
     def set_global_hook(self, first_time: Optional[int],
                         hook: Callable[[int], Optional[int]]) -> None:
@@ -119,6 +162,27 @@ class Simulator:
         if time < self._hook_time:
             self._hook_time = time
 
+    def snapshot(self) -> Dict:
+        """Plain-data engine state (docs/SNAPSHOTS.md).
+
+        Covers the event queue, the clock, the hook's next trigger time,
+        and the activation count.  The hook callable and the registered
+        actors are deliberately absent: both are re-derived by the
+        machine that owns the simulator (the hook is re-installed at
+        construction, the actors re-register in the same order).
+        """
+        return {"queue": self.queue.snapshot(),
+                "now": self.now,
+                "hook_time": self._hook_time,
+                "activations": self.activations}
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`snapshot` over the current actor registry."""
+        self.queue.restore(state["queue"])
+        self.now = state["now"]
+        self._hook_time = state["hook_time"]
+        self.activations = state["activations"]
+
     def run(self, until: Optional[int] = None) -> int:
         """Run until the queue drains or simulated time exceeds ``until``.
 
@@ -131,6 +195,7 @@ class Simulator:
         actor returns ``None``.
         """
         tracer = self.tracer
+        actors = self.actors
         if tracer.enabled:
             tracer.emit(self.now, "sim", "sim.run_begin", until=until,
                         pending=len(self.queue))
@@ -154,7 +219,8 @@ class Simulator:
             if until is not None and next_time is not None \
                     and next_time > until:
                 break
-            time, actor = self.queue.pop()
+            time, actor_id = self.queue.pop()
+            actor = actors[actor_id]
             # Batched dispatch: while this actor is the only live one
             # (the common case once other processors retire, and always
             # in single-processor runs), keep activating it directly
@@ -173,16 +239,16 @@ class Simulator:
                     break
                 if self.queue:
                     # Another actor is pending — interleave via the heap.
-                    self.queue.push(next_activation, actor)
+                    self.queue.push(next_activation, actor_id)
                     break
                 if (self._hook is not None and self._hook_time is not None
                         and next_activation >= self._hook_time):
                     # Let the outer loop fire the hook (it may drain
                     # and rebuild the queue, so the actor must be in it).
-                    self.queue.push(next_activation, actor)
+                    self.queue.push(next_activation, actor_id)
                     break
                 if until is not None and next_activation > until:
-                    self.queue.push(next_activation, actor)
+                    self.queue.push(next_activation, actor_id)
                     break
                 time = next_activation
         if tracer.enabled:
@@ -199,9 +265,9 @@ class Simulator:
         """
         pending = []
         while self.queue:
-            _t, actor = self.queue.pop()
-            pending.append(actor)
-        for actor in pending:
-            new_time = reschedule(actor)
+            _t, actor_id = self.queue.pop()
+            pending.append(actor_id)
+        for actor_id in pending:
+            new_time = reschedule(self.actors[actor_id])
             if new_time is not None:
-                self.queue.push(new_time, actor)
+                self.queue.push(new_time, actor_id)

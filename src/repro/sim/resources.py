@@ -139,6 +139,25 @@ class Resource:
         self._since_prune = 0
         self._full_until = -1
 
+    def snapshot(self) -> Dict:
+        """Plain-data state of the calendar and its counters."""
+        return {"buckets": list(self._buckets.items()),
+                "busy_time": self.busy_time,
+                "requests": self.requests,
+                "max_seen": self._max_seen,
+                "since_prune": self._since_prune,
+                "full_until": self._full_until}
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`snapshot` (docs/SNAPSHOTS.md)."""
+        self._buckets.clear()
+        self._buckets.update(state["buckets"])
+        self.busy_time = state["busy_time"]
+        self.requests = state["requests"]
+        self._max_seen = state["max_seen"]
+        self._since_prune = state["since_prune"]
+        self._full_until = state["full_until"]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Resource({self.name!r}, ports={self.ports})"
 

@@ -106,3 +106,20 @@ class StatsRegistry(MetricsRegistry):
         """Record a (time, total log bytes) sample."""
         self.log_size_samples.append((time, nbytes))
         self.gauge("log.bytes").set(nbytes)
+
+    def state(self) -> Dict:
+        """Registry metrics plus the paper-specific aggregates."""
+        state = super().state()
+        state["network_traffic"] = self.network_traffic.as_dict()
+        state["memory_traffic"] = self.memory_traffic.as_dict()
+        state["log_size_samples"] = [list(s) for s in self.log_size_samples]
+        return state
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate a :meth:`state` capture (docs/SNAPSHOTS.md)."""
+        super().restore(state)
+        self.network_traffic.bytes_by_category.update(
+            state["network_traffic"])
+        self.memory_traffic.bytes_by_category.update(state["memory_traffic"])
+        self.log_size_samples[:] = [tuple(s)
+                                    for s in state["log_size_samples"]]

@@ -53,6 +53,25 @@ class Workload(abc.ABC):
     def stream_for(self, proc_id: int) -> Iterator[WorkloadChunk]:
         """The chunk stream executed by processor ``proc_id``."""
 
+    def replay_stream(self, proc_id: int,
+                      chunks: int) -> Tuple[Iterator[WorkloadChunk],
+                                            "WorkloadChunk | None"]:
+        """Rebuild ``proc_id``'s stream fast-forwarded past ``chunks``.
+
+        Streams are pure functions of (workload spec, ``proc_id``) —
+        every generator seeds its own PRNG from those alone — so a
+        snapshot needs to record only how many chunks a processor has
+        consumed, and restore replays that many here
+        (docs/SNAPSHOTS.md).  Returns the repositioned stream and the
+        last chunk replayed (``None`` when ``chunks`` is zero), which
+        the processor uses to reinstate its in-flight reference arrays.
+        """
+        stream = self.stream_for(proc_id)
+        last = None
+        for _ in range(chunks):
+            last = next(stream)
+        return stream, last
+
     def total_refs_hint(self) -> int:
         """Approximate total references across all processors (optional)."""
         return 0

@@ -52,7 +52,19 @@ class TestNodeMemory:
         mem.write_line(0x40, 1)
         snap = mem.snapshot()
         mem.write_line(0x40, 2)
-        assert snap == {0x40: 1}
+        assert snap == {"lines": [(0x40, 1)], "lost": False}
+
+    def test_snapshot_restore_roundtrip(self):
+        mem = NodeMemory(0)
+        mem.write_line(0x40, 1)
+        mem.write_line(0x80, 5)
+        snap = mem.snapshot()
+        mem.write_line(0x40, 9)
+        mem.destroy()
+        mem.restore(snap)
+        assert not mem.lost
+        assert mem.read_line(0x40) == 1
+        assert mem.read_line(0x80) == 5
 
     def test_lines_iterates_nonzero(self):
         mem = NodeMemory(0)

@@ -1,0 +1,181 @@
+"""The snapshot roundtrip oracle (docs/SNAPSHOTS.md).
+
+The whole-machine snapshot protocol promises: pause a run anywhere,
+capture ``machine.snapshot()``, restore the image into a *freshly
+built* machine, continue — and the continuation is bit-identical to
+never having paused.  These tests enforce that promise at every
+checkpoint boundary for all four ReVive variants over three
+workloads, through a pickle round-trip (the campaign runner ships
+images between processes), including byte-identical trace output.
+
+The oracle procedure: an uninterrupted run fixes the reference
+fingerprint; a *stepped* run pauses at each boundary and captures an
+image there (stepping itself must not perturb the outcome); every
+image is then restored into a fresh machine whose continuation must
+reproduce the reference fingerprint exactly.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.harness.runner import build_machine, tiny_revive_overrides
+from repro.machine.config import MachineConfig
+from repro.workloads.registry import get_workload
+
+APPS = ("fft", "lu", "barnes")
+REVIVE_VARIANTS = ("cp_parity", "cpinf_parity", "cp_mirroring",
+                   "cpinf_mirroring")
+INTERVAL_NS = 50_000
+SCALE = 0.05
+NODES = 4
+
+
+#: The CpInf variants never reclaim their logs, so a full run
+#: overflows the tiny log region; their oracle runs stop here instead
+#: (the roundtrip contract is about *continuation*, not completion).
+CPINF_HORIZON_NS = 3 * INTERVAL_NS
+
+
+def horizon(variant: str):
+    return CPINF_HORIZON_NS if variant.startswith("cpinf") else None
+
+
+def build(app: str, variant: str, tracer=None):
+    machine = build_machine(variant, MachineConfig.tiny(NODES),
+                            INTERVAL_NS, tracer=tracer,
+                            **tiny_revive_overrides(NODES))
+    machine.attach_workload(get_workload(app, scale=SCALE,
+                                         n_procs=NODES))
+    return machine
+
+
+def fingerprint(machine):
+    """Everything observable about a finished machine."""
+    return {
+        "now": machine.simulator.now,
+        "exec": machine.steady_execution_time,
+        "stats": machine.stats.state(),
+        "memories": [dict(node.memory.lines()) for node in machine.nodes],
+        "mem_refs": [proc.mem_refs for proc in machine.processors],
+        "commits": (list(machine.checkpointing.commit_times)
+                    if machine.checkpointing else None),
+        "log_bytes": (machine.revive.max_log_bytes()
+                      if machine.revive else None),
+    }
+
+
+def boundaries(variant: str, final):
+    """Every checkpoint boundary of the run (synthetic for CpInf).
+
+    The checkpoint-free variants have no commits, so the oracle pauses
+    them at interior interval multiples instead.
+    """
+    if final["commits"] and len(final["commits"]) > 1:
+        return final["commits"][1:]
+    return [int((k + 0.5) * INTERVAL_NS) for k in range(3)]
+
+
+def roundtrip_everywhere(app: str, variant: str):
+    until = horizon(variant)
+    reference = build(app, variant)
+    reference.run(until=until)
+    final = fingerprint(reference)
+
+    stepped = build(app, variant)
+    images = []
+    for pause in boundaries(variant, final):
+        stepped.run(until=pause)
+        images.append(pickle.dumps(stepped.snapshot(),
+                                   protocol=pickle.HIGHEST_PROTOCOL))
+    stepped.run(until=until)
+    assert fingerprint(stepped) == final, \
+        f"{app}/{variant}: stepping alone perturbed the run"
+
+    for index, image in enumerate(images):
+        fresh = build(app, variant)
+        fresh.restore(pickle.loads(image))
+        fresh.run(until=until)
+        assert fingerprint(fresh) == final, \
+            f"{app}/{variant}: restore at boundary {index} diverged"
+    return len(images)
+
+
+class TestRoundtripOracle:
+    @pytest.mark.parametrize("variant", REVIVE_VARIANTS)
+    @pytest.mark.parametrize("app", APPS)
+    def test_bit_identical_at_every_checkpoint_boundary(self, app,
+                                                        variant):
+        assert roundtrip_everywhere(app, variant) >= 2
+
+    def test_baseline_variant_roundtrips_too(self):
+        # No ReVive machinery at all — the protocol must still hold.
+        assert roundtrip_everywhere("fft", "baseline") >= 2
+
+
+class TestTraceBitIdentity:
+    def test_restored_trace_is_byte_identical_to_reference_tail(self):
+        """The restored machine re-emits the reference trace, byte for
+        byte, from the pause point on — the tracer's sequence counter
+        and the span transaction counter survive the round-trip."""
+        import json
+
+        from repro.obs.tracer import RingBufferSink, Tracer
+
+        pause = 3 * INTERVAL_NS
+
+        sink_ref = RingBufferSink(capacity=1 << 20)
+        reference = build("fft", "cp_parity", tracer=Tracer(sink_ref))
+        reference.run(until=pause)
+        events_at_pause = len(sink_ref.events())
+        image = pickle.dumps(reference.snapshot())
+        reference.run()
+        tail = [json.dumps(e, sort_keys=True)
+                for e in sink_ref.events()[events_at_pause:]]
+        assert tail, "reference run emitted nothing after the pause"
+
+        sink_new = RingBufferSink(capacity=1 << 20)
+        restored = build("fft", "cp_parity", tracer=Tracer(sink_new))
+        restored.restore(pickle.loads(image))
+        restored.run()
+        replay = [json.dumps(e, sort_keys=True)
+                  for e in sink_new.events()]
+        assert replay == tail
+
+
+class TestRestoreValidation:
+    def test_wrong_topology_is_rejected(self):
+        from repro.machine.snapshot import SnapshotError
+
+        donor = build("fft", "cp_parity")
+        donor.run(until=INTERVAL_NS)
+        image = donor.snapshot()
+        other = build_machine("cp_parity", MachineConfig.tiny(2),
+                              INTERVAL_NS, **tiny_revive_overrides(2))
+        other.attach_workload(get_workload("fft", scale=SCALE,
+                                           n_procs=2))
+        with pytest.raises(SnapshotError):
+            other.restore(image)
+
+    def test_revive_mismatch_is_rejected(self):
+        from repro.machine.snapshot import SnapshotError
+
+        donor = build("fft", "cp_parity")
+        donor.run(until=INTERVAL_NS)
+        image = donor.snapshot()
+        plain = build("fft", "baseline")
+        with pytest.raises(SnapshotError):
+            plain.restore(image)
+
+    def test_unknown_version_is_rejected(self):
+        from repro.machine.snapshot import SnapshotError
+
+        donor = build("fft", "cp_parity")
+        donor.run(until=INTERVAL_NS)
+        image = donor.snapshot()
+        image["version"] = 999
+        fresh = build("fft", "cp_parity")
+        with pytest.raises(SnapshotError):
+            fresh.restore(image)

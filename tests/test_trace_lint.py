@@ -93,6 +93,43 @@ class TestLintEvents:
         assert "log.append missing required fields" in problem
         assert "bytes_used" in problem
 
+    def test_snap_events_lint_clean(self):
+        # The campaign layer's snapshot events (docs/SNAPSHOTS.md):
+        # svc-style, outside simulated time, ts 0 by convention.
+        stream = [
+            ev(0, "snap.capture", key="a" * 64, bytes=253847, epoch=2,
+               dur_ms=120),
+            ev(1, "snap.fork", key="a" * 64, scenarios=9),
+            ev(2, "snap.restore", key="a" * 64, bytes=253847, dur_ms=3),
+        ]
+        assert lint_events(stream) == []
+
+    def test_snap_capture_missing_fields(self):
+        (problem,) = lint_events([ev(0, "snap.capture", key="k")])
+        assert "snap.capture missing required fields" in problem
+        assert "epoch" in problem and "dur_ms" in problem
+
+    def test_unknown_snap_name_flagged(self):
+        (problem,) = lint_events([ev(0, "snap.teleport", key="k")])
+        assert "unknown event name" in problem
+
+    def test_live_campaign_trace_lints_clean(self, tmp_path):
+        from repro.harness.campaign import run_campaign
+        from repro.harness.runner import tiny_revive_overrides
+        from repro.machine.config import MachineConfig
+
+        path = str(tmp_path / "campaign.jsonl")
+        tracer = Tracer(JsonlFileSink(path))
+        run_campaign("fft", "cp_parity", scale=0.05, n_procs=4,
+                     interval_ns=50_000,
+                     machine_config=MachineConfig.tiny(4),
+                     warm_checkpoints=2, lost_nodes=(1,),
+                     detect_fractions=(0.5,), serial=True,
+                     cache_dir=str(tmp_path / "store"), tracer=tracer,
+                     **tiny_revive_overrides(4))
+        tracer.close()
+        assert lint_file(path) == []
+
     def test_catalog_is_namespaced_and_enveloped(self):
         # Internal consistency of the schema catalog itself.
         assert ENVELOPE_KEYS == ("v", "seq", "ts", "cat", "name")

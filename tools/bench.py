@@ -42,6 +42,9 @@ def main(argv=None) -> int:
     parser.add_argument("--no-cache-bench", action="store_true",
                         help="skip the result-store hit-path latency "
                              "measurement (and its gate)")
+    parser.add_argument("--no-campaign-bench", action="store_true",
+                        help="skip the fault-campaign fork-vs-cold "
+                             "measurement (and its gate)")
     parser.add_argument("--quick", action="store_true",
                         help="one round at scale 0.1 (smoke use)")
     parser.add_argument("--out", default=DEFAULT_OUT,
@@ -61,7 +64,8 @@ def main(argv=None) -> int:
                                sweep_workers=args.sweep_workers,
                                include_sweep=not args.no_sweep,
                                sweep_scale=min(0.1, scale),
-                               include_cache=not args.no_cache_bench)
+                               include_cache=not args.no_cache_bench,
+                               include_campaign=not args.no_campaign_bench)
     os.makedirs(os.path.dirname(args.out), exist_ok=True)
     write_report(report, args.out)
     print(format_report(report))

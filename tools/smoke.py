@@ -27,6 +27,11 @@ Steps (documented in docs/OBSERVABILITY.md):
    scratch cache, ``repro submit`` the same tiny run twice, and check
    the first reports a cache miss and the second a cache hit — the
    end-to-end path documented in docs/SERVING.md.
+7. Campaign round-trip: ``repro campaign`` twice against a scratch
+   store — the first run must capture the warm image (miss), the
+   second must fork from the cached image with identical outcomes,
+   and the campaign trace must pass ``repro trace-lint``
+   (docs/SNAPSHOTS.md).
 
 Exits 0 when every executed step passes.
 """
@@ -159,21 +164,59 @@ def step_serve_round_trip() -> None:
                 server.kill()
 
 
+def step_campaign_round_trip() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "campaign.jsonl")
+        argv = [sys.executable, "-m", "repro", "campaign", "fft",
+                "--nodes", "4", "--scale", "0.05", "--interval-us", "50",
+                "--warm", "2", "--lost-nodes", "1",
+                "--detect-fractions", "0.2,0.8", "--serial",
+                "--cache-dir", os.path.join(tmp, "store")]
+        first = run(argv + ["--trace", trace_path],
+                    capture_output=True, text=True, timeout=180)
+        if first.returncode != 0 or "(captured)" not in first.stdout:
+            raise SystemExit("first campaign should capture the warm "
+                             f"image:\n{first.stdout}\n{first.stderr}")
+        second = run(argv, capture_output=True, text=True, timeout=180)
+        if second.returncode != 0 or "(cached)" not in second.stdout:
+            raise SystemExit("second campaign should fork from the "
+                             "cached warm image:\n"
+                             f"{second.stdout}\n{second.stderr}")
+
+        def outcomes(stdout):
+            return [line for line in stdout.splitlines()
+                    if line and line.lstrip()[0].isdigit()]
+
+        if outcomes(first.stdout) != outcomes(second.stdout):
+            raise SystemExit("forked campaign outcomes diverged from "
+                             f"the capturing run:\n{first.stdout}\n"
+                             f"{second.stdout}")
+        lint = run([sys.executable, "-m", "repro", "trace-lint",
+                    trace_path], capture_output=True, text=True)
+        if lint.returncode != 0:
+            raise SystemExit("repro trace-lint failed on the campaign "
+                             f"trace:\n{lint.stdout}\n{lint.stderr}")
+        print("  campaign round-trip: capture -> fork (cached), "
+              "identical outcomes, trace-lint clean")
+
+
 def main() -> int:
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
-    print("[1/5] repro --help")
+    print("[1/6] repro --help")
     step_cli_help()
-    print("[2/5] traced node-loss recovery (repro trace lu)")
+    print("[2/6] traced node-loss recovery (repro trace lu)")
     step_traced_run()
-    print("[3/5] ruff check")
+    print("[3/6] ruff check")
     if step_lint():
         print("  lint clean")
     else:
         print("  ruff not installed -- skipped (optional dev dependency)")
-    print("[4/5] perf smoke")
+    print("[4/6] perf smoke")
     step_perf_smoke()
-    print("[5/5] repro serve round-trip (cache miss -> hit)")
+    print("[5/6] repro serve round-trip (cache miss -> hit)")
     step_serve_round_trip()
+    print("[6/6] repro campaign round-trip (capture -> fork)")
+    step_campaign_round_trip()
     print("smoke: OK")
     return 0
 
