@@ -35,10 +35,13 @@ batch events do not affect).
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
 
 from repro.cache.cache import EXCLUSIVE, MODIFIED, SHARED
 from repro.cache.hierarchy import HIT, NEED_GETS, NEED_GETX, NEED_UPGRADE
+from repro.cpu.columnar import bind_columnar
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.system import Machine
@@ -46,8 +49,19 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Re-check period for a processor parked at a workload barrier.
 BARRIER_POLL_NS = 500
 
-#: Global fast-path switch (set ``REPRO_FASTPATH=0`` to disable).
-FASTPATH_DEFAULT = os.environ.get("REPRO_FASTPATH", "1") != "0"
+#: Execution-tier switch (docs/PERFORMANCE.md).  ``REPRO_FASTPATH=0``
+#: selects the layered reference loop everywhere; ``scalar`` (or the
+#: older alias ``compiled``) stops at the inlined scalar fast path; any
+#: other value — including the default ``1`` — enables the columnar
+#: batch engine on top of it.
+_TIER_ENV = os.environ.get("REPRO_FASTPATH", "1")
+FASTPATH_DEFAULT = _TIER_ENV != "0"
+COLUMNAR_DEFAULT = FASTPATH_DEFAULT and _TIER_ENV not in ("scalar",
+                                                          "compiled")
+
+_NO_GAPS = np.empty(0, dtype=np.int64)
+_NO_ADDRS = np.empty(0, dtype=np.int64)
+_NO_WRITES = np.empty(0, dtype=bool)
 
 
 class Processor:
@@ -56,7 +70,9 @@ class Processor:
     __slots__ = ("machine", "node_id", "time", "finished", "killed",
                  "finish_time", "mem_refs", "_stream", "_gaps", "_vaddrs",
                  "_writes", "_index", "_barrier_index", "_waiting_barrier",
-                 "_chunks", "fastpath", "_batch_fn")
+                 "_chunks", "fastpath", "columnar", "_batch_fn",
+                 "_columnar_fn", "_chunk_serial", "_lists_cache",
+                 "_chunk_cols")
 
     def __init__(self, machine: "Machine", node_id: int,
                  stream: Iterator) -> None:
@@ -68,16 +84,25 @@ class Processor:
         self.finish_time: Optional[int] = None
         self.mem_refs = 0
         self._stream = stream
-        self._gaps: List[int] = []
-        self._vaddrs: List[int] = []
-        self._writes: List[bool] = []
+        #: The in-flight chunk's columns, kept as numpy arrays
+        #: end-to-end (the columnar chunk contract, docs/PERFORMANCE.md).
+        self._gaps = _NO_GAPS
+        self._vaddrs = _NO_ADDRS
+        self._writes = _NO_WRITES
         self._index = 0
         self._barrier_index = 0          # how many barriers passed
         self._waiting_barrier = False
         self._chunks = 0                 # stream chunks consumed so far
-        #: Per-processor fast-path switch (tests flip it to compare).
+        #: Per-processor tier switches (tests flip them to compare):
+        #: ``fastpath`` False selects the reference loop; ``columnar``
+        #: picks between the batch engine and the scalar fast path.
         self.fastpath = FASTPATH_DEFAULT
+        self.columnar = COLUMNAR_DEFAULT
         self._batch_fn = None
+        self._columnar_fn = None
+        self._chunk_serial = 0           # bumped whenever _gaps et al. change
+        self._lists_cache = None         # scalar tiers' per-chunk list memo
+        self._chunk_cols = None          # columnar engine's per-chunk cache
 
     # -- simulator actor protocol ------------------------------------------
 
@@ -102,14 +127,24 @@ class Processor:
         self.killed = True
 
     def invalidate_fastpath(self) -> None:
-        """Drop the compiled batch closure so machine state is re-read.
+        """Drop the compiled batch closures so machine state is re-read.
 
-        The closure captures machine invariants — including the tracer
+        The closures capture machine invariants — including the tracer
         — at bind time; anything that changes them after a batch has
         run (``Machine.install_tracer``) must invalidate so the next
-        batch re-binds against the new state.
+        batch re-binds against the new state.  The columnar engine may
+        hold the L1 tag filter virtualized (a pending stream not yet
+        applied to the set dicts); its sync hook materializes that
+        state before the closure is dropped.
         """
+        hier = self.machine.nodes[self.node_id].hierarchy
+        for cache in (hier.l1, hier.l2):
+            if cache.sync_hook is not None:
+                cache.sync_hook()
+                cache.sync_hook = None
         self._batch_fn = None
+        self._columnar_fn = None
+        self._chunk_cols = None
 
     # -- snapshot / restore (docs/SNAPSHOTS.md) ------------------------------
 
@@ -140,9 +175,10 @@ class Processor:
 
         The machine's workload must already be attached.  The current
         reference chunk (if the snapshot rests mid-chunk) is re-derived
-        from the replayed stream's final yield; barrier and marker
-        chunks leave the reference arrays empty, exactly as
-        :meth:`_next_chunk` does.
+        from the replayed stream's final yield and resumes as columnar
+        arrays plus the saved index — no Python-list materialization;
+        barrier and marker chunks leave the reference arrays empty,
+        exactly as :meth:`_next_chunk` does.
         """
         self.time = state["time"]
         self.finished = state["finished"]
@@ -154,7 +190,18 @@ class Processor:
         self._waiting_barrier = state["waiting_barrier"]
         self._chunks = state["chunks"]
         self._batch_fn = None
-        self._gaps, self._vaddrs, self._writes = [], [], []
+        self._columnar_fn = None
+        self._chunk_cols = None
+        self._lists_cache = None
+        self._chunk_serial += 1
+        # Drop any columnar sync hooks WITHOUT firing them: the restored
+        # cache state is authoritative and the closures' pending virtual
+        # streams/reorders are stale by definition.
+        hier = self.machine.nodes[self.node_id].hierarchy
+        hier.l1.sync_hook = None
+        hier.l2.sync_hook = None
+        self._gaps, self._vaddrs, self._writes = (_NO_GAPS, _NO_ADDRS,
+                                                  _NO_WRITES)
         if self.finished:
             return
         stream, last = self.machine.workload.replay_stream(self.node_id,
@@ -162,18 +209,25 @@ class Processor:
         self._stream = stream
         if last is not None and last[0] not in ("warmup_done", "barrier"):
             _tag, gaps, vaddrs, writes = last
-            self._gaps = (gaps.tolist() if hasattr(gaps, "tolist")
-                          else list(gaps))
-            self._vaddrs = (vaddrs.tolist() if hasattr(vaddrs, "tolist")
-                            else list(vaddrs))
-            self._writes = (writes.tolist() if hasattr(writes, "tolist")
-                            else list(writes))
+            self._gaps = np.asarray(gaps, dtype=np.int64)
+            self._vaddrs = np.asarray(vaddrs, dtype=np.int64)
+            self._writes = np.asarray(writes, dtype=bool)
 
     # -- execution ---------------------------------------------------------------
 
     def _run_batch(self) -> Optional[int]:
         if not self.fastpath:
             return self._run_batch_reference()
+        if self.columnar:
+            col_fn = self._columnar_fn
+            if col_fn is None:
+                col_fn = bind_columnar(self)
+                if col_fn is None:       # unsupported geometry
+                    self.columnar = False
+                else:
+                    self._columnar_fn = col_fn
+            if col_fn is not None:
+                return col_fn()
         batch_fn = self._batch_fn
         if batch_fn is None:
             batch_fn = self._bind_fastpath()
@@ -182,6 +236,28 @@ class Processor:
                 return self._run_batch_reference()
             self._batch_fn = batch_fn
         return batch_fn()
+
+    def _chunk_lists(self) -> tuple:
+        """The in-flight chunk as plain Python lists, memoized per chunk.
+
+        The scalar tiers iterate references one at a time, where list
+        indexing is several times faster than numpy scalar indexing —
+        and plain ints keep ``self.time`` JSON-serializable.  The chunk
+        columns themselves stay numpy (the columnar contract); this
+        memo is derived state, invalidated by ``_chunk_serial``.
+        """
+        cached = self._lists_cache
+        serial = self._chunk_serial
+        if cached is not None and cached[0] == serial:
+            return cached[1]
+        gaps, vaddrs, writes = self._gaps, self._vaddrs, self._writes
+        lists = (gaps.tolist() if hasattr(gaps, "tolist") else list(gaps),
+                 vaddrs.tolist() if hasattr(vaddrs, "tolist")
+                 else list(vaddrs),
+                 writes.tolist() if hasattr(writes, "tolist")
+                 else list(writes))
+        self._lists_cache = (serial, lists)
+        return lists
 
     def _bind_fastpath(self):
         """Compile the inlined reference pipeline for this processor.
@@ -237,7 +313,7 @@ class Processor:
         def run_batch() -> Optional[int]:
             t = self.time
             deadline = t + quantum
-            gaps, vaddrs, writes = self._gaps, self._vaddrs, self._writes
+            gaps, vaddrs, writes = self._chunk_lists()
             i = self._index
             n = len(vaddrs)
             refs = l1h = l1m = l2h = l2m = silent = remote = fills = 0
@@ -264,8 +340,7 @@ class Processor:
                     if outcome is not None:
                         return outcome if outcome >= 0 else None
                     t = self.time
-                    gaps, vaddrs, writes = (self._gaps, self._vaddrs,
-                                            self._writes)
+                    gaps, vaddrs, writes = self._chunk_lists()
                     i = self._index
                     n = len(vaddrs)
                     continue
@@ -383,17 +458,19 @@ class Processor:
         translate = machine.addr_space.translate_line
         deadline = self.time + config.batch_quantum_ns
         overlap = config.miss_overlap
+        gaps, vaddrs, writes = self._chunk_lists()
 
         while True:
-            if self._index >= len(self._vaddrs):
+            if self._index >= len(vaddrs):
                 outcome = self._next_chunk()
                 if outcome is not None:
                     return outcome if outcome >= 0 else None
+                gaps, vaddrs, writes = self._chunk_lists()
                 continue
             i = self._index
-            self.time += self._gaps[i]
-            line_addr = translate(self._vaddrs[i], self.node_id)
-            is_write = self._writes[i]
+            self.time += gaps[i]
+            line_addr = translate(vaddrs[i], self.node_id)
+            is_write = writes[i]
             self._index = i + 1
             self.mem_refs += 1
 
@@ -441,8 +518,10 @@ class Processor:
         if chunk[0] == "barrier":
             release = self.machine.barrier_arrive(self._barrier_index,
                                                   self.node_id, self.time)
-            self._gaps, self._vaddrs, self._writes = [], [], []
+            self._gaps, self._vaddrs, self._writes = (_NO_GAPS, _NO_ADDRS,
+                                                      _NO_WRITES)
             self._index = 0
+            self._chunk_serial += 1
             if release is not None:
                 self._barrier_index += 1
                 self.time = max(self.time, release)
@@ -450,12 +529,12 @@ class Processor:
             self._waiting_barrier = True
             return self.time + BARRIER_POLL_NS
         _tag, gaps, vaddrs, writes = chunk
-        # tolist() turns numpy arrays into plain ints/bools, which the
-        # inner loop iterates several times faster.
-        self._gaps = gaps.tolist() if hasattr(gaps, "tolist") else list(gaps)
-        self._vaddrs = (vaddrs.tolist() if hasattr(vaddrs, "tolist")
-                        else list(vaddrs))
-        self._writes = (writes.tolist() if hasattr(writes, "tolist")
-                        else list(writes))
+        # The chunk columns stay numpy arrays end-to-end (the columnar
+        # contract): the batch engine consumes them directly, and the
+        # scalar tiers materialize plain lists lazily via _chunk_lists.
+        self._gaps = np.asarray(gaps, dtype=np.int64)
+        self._vaddrs = np.asarray(vaddrs, dtype=np.int64)
+        self._writes = np.asarray(writes, dtype=bool)
         self._index = 0
+        self._chunk_serial += 1
         return None

@@ -13,6 +13,24 @@ consumes a *stream* of chunks, where a chunk is either
 
 Virtual addresses live in a single shared space; the machine binds
 pages to physical memory on first touch.
+
+Columnar contract: the columnar batch engine (``repro.cpu.columnar``)
+consumes the ``gaps``/``vaddrs``/``writes`` arrays of an ``("ops", ...)``
+chunk wholesale — translating, probing, and classifying whole columns
+at once.  Two obligations follow for stream implementations:
+
+* the three arrays must be plain 1-D numpy arrays of equal length
+  (integer-valued; the engine casts addresses with ``astype(np.int64)``
+  and treats ``writes`` as a boolean mask), and
+* a chunk's arrays must never be mutated after it is yielded — the
+  engine caches per-chunk derived columns (line addresses, purity
+  windows) keyed by the chunk's identity, so in-place edits would
+  silently desynchronize the tiers.
+
+Streams that satisfy ``replay_stream``'s purity rule (below) get
+tier-independent snapshot/restore for free: the chunk counter is the
+only cursor, so an image captured under one execution tier resumes
+bit-identically under any other (tests/test_columnar.py).
 """
 
 from __future__ import annotations

@@ -18,6 +18,14 @@ write-back rate, first-write rate, dirty-cache population, sharing —
 so matching those statistics to a Splash-2 application's (Table 4)
 reproduces its overhead profile without executing the original binary.
 See DESIGN.md §3 for the substitution argument.
+
+Generated chunks satisfy the columnar contract (repro.workloads.base):
+each ``("ops", ...)`` chunk is materialized as fresh int64/bool numpy
+arrays that the generator never touches again, so the columnar batch
+engine may cache derived columns against chunk identity.  Generation
+is pure in (spec, proc_id) — each stream seeds its own PRNG from those
+alone — which is what makes ``replay_stream`` and tier-switching
+snapshot restores exact.
 """
 
 from __future__ import annotations

@@ -89,8 +89,11 @@ class TestFallback:
         machine.attach_workload(ToyWorkload(rounds=1))
         proc = machine.processors[0]
         assert proc._batch_fn is None
+        assert proc._columnar_fn is None
         machine.run()
-        if proc.fastpath:
+        if proc.columnar:
+            assert proc._columnar_fn is not None
+        elif proc.fastpath:
             assert proc._batch_fn is not None
 
     def test_processor_slots(self):

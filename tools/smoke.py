@@ -23,11 +23,16 @@ Steps (documented in docs/OBSERVABILITY.md):
    the hard perf-harness floor; see docs/PERFORMANCE.md).  Catches
    "the simulator got 10x slower" mistakes without the full
    ``tools/bench.py`` run.
-6. Serve round-trip: start ``repro serve`` on a free port with a
+6. Tier matrix: one small ``lu``/cp_parity run through each execution
+   tier (reference loop, scalar fast path, columnar batch engine) —
+   times, counters, and memory contents must be bit-identical
+   (docs/PERFORMANCE.md; the exhaustive oracle is
+   ``tests/test_columnar.py``).
+7. Serve round-trip: start ``repro serve`` on a free port with a
    scratch cache, ``repro submit`` the same tiny run twice, and check
    the first reports a cache miss and the second a cache hit — the
    end-to-end path documented in docs/SERVING.md.
-7. Campaign round-trip: ``repro campaign`` twice against a scratch
+8. Campaign round-trip: ``repro campaign`` twice against a scratch
    store — the first run must capture the warm image (miss), the
    second must fork from the cached image with identical outcomes,
    and the campaign trace must pass ``repro trace-lint``
@@ -124,6 +129,42 @@ def step_perf_smoke() -> None:
           f"({exhibit['refs']} refs in {exhibit['wall_seconds_best']:.2f}s)")
 
 
+def step_tier_matrix() -> None:
+    from repro.harness.runner import build_machine, tiny_revive_overrides
+    from repro.machine.config import MachineConfig
+    from repro.workloads.registry import get_workload
+
+    fingerprints = {}
+    for tier in ("reference", "scalar", "columnar"):
+        machine = build_machine("cp_parity", MachineConfig.tiny(4),
+                                50_000, **tiny_revive_overrides(4))
+        machine.attach_workload(get_workload("lu", scale=0.02,
+                                             n_procs=4))
+        for proc in machine.processors:
+            proc.fastpath = tier != "reference"
+            proc.columnar = tier == "columnar"
+        machine.run()
+        fingerprints[tier] = (
+            machine.simulator.now,
+            machine.total_mem_refs(),
+            [p.time for p in machine.processors],
+            [(n.hierarchy.l1.hits, n.hierarchy.l1.misses,
+              n.hierarchy.l2.hits, n.hierarchy.l2.misses)
+             for n in machine.nodes],
+            [dict(n.memory.lines()) for n in machine.nodes],
+        )
+    reference = fingerprints["reference"]
+    for tier in ("scalar", "columnar"):
+        if fingerprints[tier] != reference:
+            raise SystemExit(
+                f"tier matrix: the {tier} tier diverged from the "
+                f"reference loop on lu/cp_parity -- run "
+                f"pytest tests/test_columnar.py to localize")
+    print("  tier matrix: reference == scalar == columnar "
+          "(lu/cp_parity, "
+          f"{fingerprints['reference'][1]:,} refs)")
+
+
 def step_serve_round_trip() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         server = subprocess.Popen(
@@ -202,20 +243,22 @@ def step_campaign_round_trip() -> None:
 
 def main() -> int:
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
-    print("[1/6] repro --help")
+    print("[1/7] repro --help")
     step_cli_help()
-    print("[2/6] traced node-loss recovery (repro trace lu)")
+    print("[2/7] traced node-loss recovery (repro trace lu)")
     step_traced_run()
-    print("[3/6] ruff check")
+    print("[3/7] ruff check")
     if step_lint():
         print("  lint clean")
     else:
         print("  ruff not installed -- skipped (optional dev dependency)")
-    print("[4/6] perf smoke")
+    print("[4/7] perf smoke")
     step_perf_smoke()
-    print("[5/6] repro serve round-trip (cache miss -> hit)")
+    print("[5/7] execution-tier matrix (reference/scalar/columnar)")
+    step_tier_matrix()
+    print("[6/7] repro serve round-trip (cache miss -> hit)")
     step_serve_round_trip()
-    print("[6/6] repro campaign round-trip (capture -> fork)")
+    print("[7/7] repro campaign round-trip (capture -> fork)")
     step_campaign_round_trip()
     print("smoke: OK")
     return 0
