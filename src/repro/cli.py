@@ -16,6 +16,8 @@ Exposes the common workflows without writing Python::
     python -m repro table3                    # machine configuration
     python -m repro serve --cache-dir .cache  # async simulation service
     python -m repro submit lu --nodes 4       # stream a request to it
+    python -m repro profile lu --nodes 4      # per-actor host-time profile
+    python -m repro stats                     # live telemetry from serve
 
 All commands accept ``--scale`` (run length multiplier),
 ``--interval-us`` (checkpoint interval), and ``--nodes`` (shrink to a
@@ -222,6 +224,49 @@ def make_parser() -> argparse.ArgumentParser:
     sbm_p.add_argument("--no-cache", action="store_true",
                        help="ask the server to bypass its result store")
     sbm_p.add_argument("--json", action="store_true",
+                       help="print the raw event stream as JSON lines")
+
+    prf_p = sub.add_parser(
+        "profile",
+        help="host-time attribution of one run: per-component self vs "
+             "cumulative seconds, per-actor dispatch time with the "
+             "batch-vs-protocol-fallout tier split, and flamegraph / "
+             "Perfetto / prof.* trace exports (docs/OBSERVABILITY.md)")
+    _common(prf_p, default_scale=0.25, default_interval_us=50.0,
+            default_nodes=4)
+    prf_p.add_argument("--variant", choices=VARIANTS, default="cp_parity")
+    prf_p.add_argument("--top", type=int, default=None, metavar="N",
+                       help="show only the N hottest actors")
+    prf_p.add_argument("--min-coverage", type=float, default=None,
+                       metavar="FRACTION",
+                       help="exit 1 unless at least this fraction of "
+                            "machine.run wall time is attributed to "
+                            "actors (the reconciliation gate)")
+    prf_p.add_argument("--flame", metavar="PATH", default=None,
+                       help="write collapsed-stack lines for "
+                            "flamegraph.pl / speedscope")
+    prf_p.add_argument("--perfetto", metavar="PATH", default=None,
+                       help="write Chrome Trace counter tracks for "
+                            "ui.perfetto.dev")
+    prf_p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write the profile as prof.* JSONL events "
+                            "(passes repro trace-lint)")
+    prf_p.add_argument("--json", metavar="PATH", default=None,
+                       help="write the profile snapshot as JSON")
+
+    sts_p = sub.add_parser(
+        "stats",
+        help="fetch live telemetry from a running 'repro serve': "
+             "heartbeat gauges and the metrics snapshot over the JSONL "
+             "protocol, or the raw Prometheus text exposition")
+    sts_p.add_argument("--host", default=None,
+                       help="server address (default 127.0.0.1)")
+    sts_p.add_argument("--port", type=int, default=None,
+                       help="server port (default 7316)")
+    sts_p.add_argument("--prometheus", action="store_true",
+                       help="print the GET /metrics exposition body "
+                            "instead of the event stream")
+    sts_p.add_argument("--json", action="store_true",
                        help="print the raw event stream as JSON lines")
 
     rec_p = sub.add_parser("recover",
@@ -948,6 +993,136 @@ def cmd_export_trace(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """``repro profile``: host-time attribution of one run.
+
+    Runs the workload with the attributing dispatch loop enabled and
+    prints the component table (self vs cumulative), the per-actor
+    attribution with the per-node batch/protocol-fallout tier split,
+    and the reconciliation line: the fraction of ``machine.run`` wall
+    time the per-actor timings account for.  ``--min-coverage`` turns
+    that line into a gate (exit 1 below the threshold) so CI can pin
+    the attribution honest.
+    """
+    import json as json_mod
+
+    from repro.harness.reporting import actor_table
+    from repro.obs import write_profile_counter_trace
+    from repro.obs.telemetry import (
+        actor_coverage,
+        emit_profile_events,
+        fallout_share,
+        flamegraph_lines,
+    )
+
+    interval = int(args.interval_us * 1000)
+    machine_config, n_procs = _machine_setup(args)
+    profiler = Profiler()
+    overrides = (_tiny_revive_overrides(args)
+                 if args.variant != "baseline" else {})
+    result = run_app(args.app, args.variant, scale=args.scale,
+                     interval_ns=interval, machine_config=machine_config,
+                     n_procs=n_procs, profiler=profiler, **overrides)
+    profile = result.profile
+    display = profile
+    if args.top is not None:
+        hottest = sorted(profile["actors"].items(),
+                         key=lambda kv: kv[1]["seconds"],
+                         reverse=True)[:args.top]
+        display = dict(profile, actors=dict(hottest))
+    print(profile_table(profile))
+    print()
+    print(actor_table(display))
+    coverage = actor_coverage(profile)
+    share = fallout_share(profile)
+    print(f"\nattribution: {100 * coverage:.1f}% of machine.run wall "
+          f"time attributed to {len(profile['actors'])} actors")
+    print(f"tier split: {100 * share:.1f}% of actor time in scalar "
+          f"protocol fallout (docs/PERFORMANCE.md §1b)")
+    if args.flame:
+        lines = flamegraph_lines(profile)
+        with open(args.flame, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        print(f"flamegraph: {len(lines)} stacks -> {args.flame}")
+    if args.perfetto:
+        entries = write_profile_counter_trace(profile, args.perfetto)
+        print(f"perfetto: {entries} counter entries -> {args.perfetto}")
+    if args.trace:
+        tracer = Tracer(JsonlFileSink(args.trace))
+        emit_profile_events(tracer, profile)
+        tracer.close()
+        print(f"trace: {tracer.events_emitted} prof events -> "
+              f"{args.trace}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json_mod.dump(profile, fh, indent=2, sort_keys=True)
+        print(f"profile: {args.json}")
+    if args.min_coverage is not None and coverage < args.min_coverage:
+        print(f"ATTRIBUTION BELOW THRESHOLD: {coverage:.3f} < "
+              f"{args.min_coverage}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """``repro stats``: live telemetry from a running service."""
+    import json as json_mod
+
+    from repro.serve import DEFAULT_HOST, DEFAULT_PORT, fetch_metrics, \
+        submit
+
+    host = args.host if args.host is not None else DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+    try:
+        if args.prometheus:
+            sys.stdout.write(fetch_metrics(host=host, port=port))
+            return 0
+        status = 0
+        for event in submit({"op": "stats"}, host=host, port=port):
+            if args.json:
+                print(json_mod.dumps(event, sort_keys=True))
+                if event["name"] == "svc.error":
+                    status = 1
+                continue
+            name = event.get("name")
+            if name == "stats.heartbeat":
+                print(f"beat {event['beat']}: "
+                      f"{event['workers_busy']}/{event['workers']} "
+                      f"workers busy, queue {event['queue_depth']}, "
+                      f"{event['inflight']} in flight")
+            elif name == "stats.snapshot":
+                _print_stats_snapshot(event)
+            elif name == "svc.error":
+                print(f"error: {event['error']}", file=sys.stderr)
+                status = 1
+        return status
+    except OSError as exc:
+        raise SystemExit(f"cannot reach repro serve at {host}:{port} "
+                         f"({exc}); start one with: repro serve")
+
+
+def _print_stats_snapshot(event: dict) -> None:
+    """Render one ``stats.snapshot`` metrics payload for humans."""
+    metrics = event["metrics"]
+    if metrics["counters"]:
+        print(format_table(["Counter", "Value"],
+                           sorted(metrics["counters"].items()),
+                           title=f"Counters (beat {event['beat']})"))
+    if metrics["gauges"]:
+        print(format_table(
+            ["Gauge", "Value", "Max"],
+            [[name, info["value"], info["max"]]
+             for name, info in sorted(metrics["gauges"].items())],
+            title="Gauges"))
+    if metrics["histograms"]:
+        print(format_table(
+            ["Histogram", "Count", "Mean", "p50", "p99", "Max"],
+            [[name, s["count"], f"{s['mean']:.0f}", f"{s['p50']:.0f}",
+              f"{s['p99']:.0f}", s["max"]]
+             for name, s in sorted(metrics["histograms"].items())],
+            title="Histograms (us)"))
+
+
 def cmd_serve(args) -> int:
     """``repro serve``: the async simulation service (docs/SERVING.md).
 
@@ -1089,6 +1264,12 @@ def _print_submit_event(event: dict) -> int:
             print(f"  {lost}, detect {outcome['detect_fraction']:.2f}: "
                   f"lost work {outcome['lost_work_ns'] / 1e3:.0f}us, "
                   f"unavailable {outcome['unavailable_ns'] / 1e6:.1f}ms")
+    elif name == "svc.timing":
+        phases = event["phases"]
+        print(f"  host time: {phases['total_ms']:.0f}ms total "
+              f"(lookup {phases['cache_lookup_ms']:.1f}ms, queue "
+              f"{phases['queue_wait_ms']:.1f}ms, execute "
+              f"{phases['execute_ms']:.0f}ms)")
     elif name == "svc.done":
         print(f"done: {event['jobs']} jobs, {event['cached']} from cache")
     elif name == "svc.error":
@@ -1126,6 +1307,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_serve(args)
     if args.command == "submit":
         return cmd_submit(args)
+    if args.command == "profile":
+        return cmd_profile(args)
+    if args.command == "stats":
+        return cmd_stats(args)
     assert args.command == "recover"
     return cmd_recover(args)
 

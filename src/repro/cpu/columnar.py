@@ -77,13 +77,41 @@ preserves exactness because the scalar pipeline handles every case.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
 
 from repro.cache.cache import EXCLUSIVE, MODIFIED, SHARED, bulk_set_index
 
-__all__ = ["bind_columnar"]
+__all__ = ["bind_columnar", "timed_protocol"]
+
+
+def timed_protocol(read, write, cell):
+    """Wrap the protocol entry points with host-time fallout timers.
+
+    ``cell`` is a mutable ``[seconds, calls]`` list (one per node,
+    handed out by ``Profiler.fallout_cell``) mutated in place, so the
+    instrumented hot loop performs no dict lookups.  Used by both
+    batch tiers at closure-bind time when a machine profiler is
+    installed; unprofiled binds keep the raw bound methods.
+    """
+
+    def timed_read(node, line, t):
+        begin = perf_counter()
+        done = read(node, line, t)
+        cell[0] += perf_counter() - begin
+        cell[1] += 1
+        return done
+
+    def timed_write(node, line, t, upgrade):
+        begin = perf_counter()
+        done = write(node, line, t, upgrade)
+        cell[0] += perf_counter() - begin
+        cell[1] += 1
+        return done
+
+    return timed_read, timed_write
 
 #: Below this many writes a segment replays stores in stream order
 #: instead of reconstructing last-writes with numpy.
@@ -125,6 +153,13 @@ def bind_columnar(proc):
     offset_bits = space._offset_bits
     proto_read = machine.protocol.read
     proto_write = machine.protocol.write
+    # Host-time tier split: time the scalar protocol fallout calls into
+    # the profiler's per-node cell (see Processor._bind_fastpath — same
+    # bind-time resolution, zero cost when unprofiled).
+    if machine.profiler is not None:
+        proto_read, proto_write = timed_protocol(
+            proto_read, proto_write,
+            machine.profiler.fallout_cell(proc.node_id))
     write_value = hierarchy.write_value
     next_store = machine.next_store_value
     l1_hit_ns = config.l1_hit_ns

@@ -30,6 +30,13 @@ docs/OBSERVABILITY.md).  The hook is resolved at closure-bind time, so
 an untraced run pays nothing; the reference loop does not emit
 ``mem`` events (it exists to pin timing/counter behaviour, which the
 batch events do not affect).
+
+The same bind-time pattern powers the host-time tier split
+(docs/OBSERVABILITY.md): with a machine profiler installed, the scalar
+directory-protocol fallout calls are wrapped with ``perf_counter``
+timers into per-node fallout cells, quantifying the
+docs/PERFORMANCE.md §1b ceiling.  The reference loop stays
+uninstrumented, exactly like it does for ``mem`` events.
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ import numpy as np
 
 from repro.cache.cache import EXCLUSIVE, MODIFIED, SHARED
 from repro.cache.hierarchy import HIT, NEED_GETS, NEED_GETX, NEED_UPGRADE
-from repro.cpu.columnar import bind_columnar
+from repro.cpu.columnar import bind_columnar, timed_protocol
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.system import Machine
@@ -288,6 +295,16 @@ class Processor:
         offset_bits = space._offset_bits
         proto_read = machine.protocol.read
         proto_write = machine.protocol.write
+        # Host-time tier split (docs/OBSERVABILITY.md): with a profiler
+        # installed, the directory-protocol fallout calls are bracketed
+        # by perf_counter reads into the profiler's per-node fallout
+        # cell.  Resolved at bind time like the tracer hook, so an
+        # unprofiled run keeps the raw bound methods and pays nothing;
+        # Machine.install_profiler invalidates the closure to re-bind.
+        if machine.profiler is not None:
+            proto_read, proto_write = timed_protocol(
+                proto_read, proto_write,
+                machine.profiler.fallout_cell(self.node_id))
         write_value = hierarchy.write_value
         next_store = machine.next_store_value
         l1_hit_ns = config.l1_hit_ns

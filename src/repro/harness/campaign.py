@@ -118,7 +118,8 @@ def _init_worker(ctx: Dict) -> None:
     _CTX = ctx
 
 
-def _run_scenario(payload: Tuple[int, Dict]) -> Tuple[int, Dict]:
+def _run_scenario(payload: Tuple[int, Dict]
+                  ) -> Tuple[int, Dict, Optional[Dict]]:
     """Worker body: one fault scenario; module-level so it pickles.
 
     Forked mode restores the warm image into a fresh machine; cold
@@ -126,6 +127,13 @@ def _run_scenario(payload: Tuple[int, Dict]) -> Tuple[int, Dict]:
     then runs to its detection time, takes the fault, and recovers —
     the outcomes are identical (the snapshot oracle guarantees it),
     only the wall-clock differs.
+
+    Returns ``(index, outcome, profile)``.  The host-time profile (or
+    None when profiling is off) rides *next to* the outcome, never
+    inside it: outcomes must stay equal between cold and forked runs,
+    and wall-clock attribution obviously is not.  Profiling starts
+    after the warm-up / restore, so cold and forked scenarios profile
+    the same work (detection window + recovery).
     """
     index, scenario = payload
     ctx = _CTX
@@ -148,6 +156,13 @@ def _run_scenario(payload: Tuple[int, Dict]) -> Tuple[int, Dict]:
         machine.attach_workload(
             get_workload(app, scale=scale, n_procs=n_procs))
         machine.restore(pickle.loads(image))
+
+    profiler = None
+    if ctx.get("profile"):
+        from repro.obs.profiling import Profiler
+
+        profiler = Profiler()
+        machine.install_profiler(profiler)
 
     interval_ns = run_kwargs.get("interval_ns", DEFAULT_INTERVAL_NS)
     detect_time = (machine.checkpointing.commit_times[warm]
@@ -173,7 +188,12 @@ def _run_scenario(payload: Tuple[int, Dict]) -> Tuple[int, Dict]:
         resume_time=result.resume_time,
         breakdown=result.breakdown(),
     )
-    return index, outcome
+    snapshot = None
+    if profiler is not None:
+        from repro.obs.telemetry import profile_snapshot
+
+        snapshot = profile_snapshot(profiler)
+    return index, outcome, snapshot
 
 
 def _hybrid_kwargs(run_kwargs: Dict, scenario: Dict) -> Dict:
@@ -209,6 +229,10 @@ class CampaignResult:
     parallel: bool = False
     #: True when the grid re-ran warm-ups instead of forking.
     cold: bool = False
+    #: Merged host-time profile across scenarios (``profile=True``),
+    #: or None.  Kept beside the outcomes, never inside them: the
+    #: cold-vs-forked equality contract covers outcomes only.
+    profile: Optional[Dict] = None
 
     @property
     def image_bytes(self) -> int:
@@ -226,6 +250,7 @@ class CampaignResult:
             "wall_seconds": self.wall_seconds,
             "images": self.images,
             "outcomes": self.outcomes,
+            "profile": self.profile,
         }
 
 
@@ -291,6 +316,7 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
                  workers: Optional[int] = None, serial: bool = False,
                  cold: bool = False,
                  tracer: Optional[Tracer] = None,
+                 profile: bool = False,
                  **revive_overrides) -> CampaignResult:
     """Run a fault campaign: one warm-up, many forked recoveries.
 
@@ -307,6 +333,12 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
     ``tracer`` observes the campaign itself (``snap.*`` events); it is
     *not* threaded into the simulated machines, so warm images and
     scenario outcomes stay byte-identical traced or not.
+
+    ``profile=True`` installs a host-time profiler in every scenario
+    machine (after warm-up / restore, so cold and forked profile the
+    same work) and merges the per-scenario snapshots into
+    ``result.profile`` in scenario order.  Outcomes are unaffected —
+    wall-clock attribution never enters an outcome dict.
     """
     if warm_checkpoints < 1:
         raise ValueError("warm_checkpoints must be >= 1")
@@ -343,9 +375,11 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
         images = {hybrid: None for hybrid in hybrids}
 
     ctx = {"app": app, "variant": variant, "run_kwargs": run_kwargs,
-           "warm_checkpoints": warm_checkpoints, "images": images}
+           "warm_checkpoints": warm_checkpoints, "images": images,
+           "profile": profile}
     todo = list(enumerate(scenarios))
     indexed: Dict[int, Dict] = {}
+    profiles: Dict[int, Optional[Dict]] = {}
 
     from repro.harness.parallel import default_workers
 
@@ -361,9 +395,10 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
 
             with mp.Pool(processes=n_workers, initializer=_init_worker,
                          initargs=(ctx,)) as pool:
-                for index, outcome in pool.imap_unordered(
+                for index, outcome, snapshot in pool.imap_unordered(
                         _run_scenario, todo):
                     indexed[index] = outcome
+                    profiles[index] = snapshot
             ran_parallel = True
         except (OSError, ImportError, PermissionError) as exc:
             warnings.warn(
@@ -371,17 +406,27 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
                 f"falling back to serial execution", RuntimeWarning,
                 stacklevel=2)
             indexed.clear()
+            profiles.clear()
     if not ran_parallel:
         _init_worker(ctx)
-        for index, outcome in map(_run_scenario, todo):
+        for index, outcome, snapshot in map(_run_scenario, todo):
             indexed[index] = outcome
+            profiles[index] = snapshot
         n_workers = 1
 
     outcomes = [indexed[index] for index in range(len(scenarios))]
+    merged_profile = None
+    if profile:
+        from repro.obs.telemetry import merge_profiles
+
+        # Scenario order, never completion order — the merged profile
+        # must be deterministic for a given campaign grid.
+        merged_profile = merge_profiles(
+            profiles[index] for index in range(len(scenarios)))
     return CampaignResult(app=app, variant=variant,
                           warm_checkpoints=warm_checkpoints,
                           interval_ns=interval_ns, outcomes=outcomes,
                           images=image_meta,
                           wall_seconds=time.perf_counter() - start,
                           workers=n_workers, parallel=ran_parallel,
-                          cold=cold)
+                          cold=cold, profile=merged_profile)

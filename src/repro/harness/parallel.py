@@ -34,6 +34,16 @@ traced sweeps — replay the stored trace and manifest bytes into
 are stored for next time.  ``tests/test_cached_sweep.py`` pins the
 byte-identity.
 
+Profiled sweeps (``profile=True``): every worker runs its job with a
+:class:`~repro.obs.profiling.Profiler` attached, ships the per-job
+profile snapshot back in ``RunResult.profile``, and the parent merges
+them with :func:`~repro.obs.telemetry.merge_profiles` into
+``SweepResult.profile`` — one coherent host-time attribution for the
+whole multi-process sweep.  Profiles carry wall-clock values, so they
+ride *outside* the deterministic artifacts: traced profiled sweeps
+write ``sweep.profile.json`` next to (never inside) the byte-identical
+``sweep.ledger.json``.
+
 Used by ``repro sweep`` (CLI), the simulation service
 (``repro.serve``), and the throughput harness
 (``benchmarks/test_simulator_throughput.py``); see docs/PERFORMANCE.md.
@@ -101,8 +111,14 @@ def _execute(payload: Tuple[int, Tuple[str, str, Dict]]
     index, (app, variant, kwargs) = payload
     kwargs = dict(kwargs)
     trace_spec = kwargs.pop("_trace", None)
+    profiler = None
+    if kwargs.pop("_profile", False):
+        from repro.obs.profiling import Profiler
+
+        profiler = Profiler()
     if trace_spec is None:
-        return index, run_app(app, variant, **kwargs), None
+        return index, run_app(app, variant, profiler=profiler,
+                              **kwargs), None
 
     from repro.obs.monitor import MonitorSuite, RunLedger, default_monitors
     from repro.obs.tracer import JsonlFileSink, Tracer
@@ -116,7 +132,8 @@ def _execute(payload: Tuple[int, Tuple[str, str, Dict]]
                          log_capacity_bytes=capacity),
         sink=JsonlFileSink(trace_spec["path"]))
     tracer = Tracer(suite, categories=trace_spec.get("categories"))
-    result = run_app(app, variant, tracer=tracer, **kwargs)
+    result = run_app(app, variant, tracer=tracer, profiler=profiler,
+                     **kwargs)
     tracer.close()
 
     spec = SPLASH2_SPECS.get(app)
@@ -152,6 +169,9 @@ class SweepResult:
     cache_misses: int = 0
     #: The result store root (cached sweeps only).
     cache_dir: Optional[str] = None
+    #: Merged host-time attribution across all simulated jobs
+    #: (profiled sweeps only; see repro.obs.telemetry.merge_profiles).
+    profile: Optional[Dict] = None
 
     def get(self, app: str, variant: str) -> RunResult:
         """The result of one sweep cell."""
@@ -209,6 +229,7 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
               trace_categories: Optional[Sequence[str]] = None,
               cache_dir: Optional[str] = None,
               cache_max_bytes: Optional[int] = None,
+              profile: bool = False,
               **revive_overrides) -> SweepResult:
     """Run an app × variant sweep, fanning out over worker processes.
 
@@ -231,6 +252,12 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
     dispatched to workers.  A traced sweep hitting an entry stored
     without a trace re-runs that cell and upgrades the entry.
     ``cache_max_bytes`` bounds the store (LRU eviction on write).
+
+    ``profile=True`` attaches a host-time profiler to every simulated
+    job; per-job snapshots ride back in ``RunResult.profile`` and the
+    deterministic merge of them lands in ``SweepResult.profile`` (and
+    ``sweep.profile.json`` for traced sweeps).  Cache hits skipped the
+    simulation, so they contribute no host time.
     """
     if chunksize < 1:
         raise ValueError("chunksize must be >= 1")
@@ -264,6 +291,12 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
             kwargs["_trace"] = {"path": base + ".jsonl",
                                 "ledger_path": base + ".ledger.json",
                                 "categories": categories}
+    if profile:
+        # Injected after cache keys are computed: profiling is a
+        # host-side observation, not configuration, so it must never
+        # change a job's digest.
+        for _app, _variant, kwargs in jobs:
+            kwargs["_profile"] = True
 
     start = time.perf_counter()
     indexed: Dict[int, Tuple[RunResult, Optional[Dict]]] = {}
@@ -352,10 +385,25 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
                   encoding="utf-8") as handle:
             json.dump(merged, handle, sort_keys=True, indent=2)
             handle.write("\n")
+    merged_profile = None
+    if profile:
+        from repro.obs.telemetry import merge_profiles
+
+        merged_profile = merge_profiles(
+            indexed[index][0].profile for index in range(len(jobs)))
+        if trace_dir is not None and merged_profile is not None:
+            # A side-channel next to sweep.ledger.json, never inside
+            # it: profiles carry wall-clock values and would break the
+            # ledger's byte-identity guarantee.
+            with open(os.path.join(trace_dir, "sweep.profile.json"),
+                      "w", encoding="utf-8") as handle:
+                json.dump(merged_profile, handle, sort_keys=True,
+                          indent=2)
+                handle.write("\n")
     return SweepResult(results=results, workers=n_workers,
                        wall_seconds=time.perf_counter() - start,
                        parallel=ran_parallel, job_order=job_order,
                        ledgers=ledgers, trace_dir=trace_dir,
                        cache_hits=hits,
                        cache_misses=len(todo) if cache is not None else 0,
-                       cache_dir=cache_dir)
+                       cache_dir=cache_dir, profile=merged_profile)

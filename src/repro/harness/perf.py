@@ -70,6 +70,13 @@ CAMPAIGN_MIN_SPEEDUP = 5.0
 #: miss-heavy exhibits).
 COLUMNAR_MIN_SPEEDUP = 1.02
 
+#: Hard ceiling on the *disabled* observability tax: a machine with
+#: the full hook surface installed but turned off (disabled tracer,
+#: no profiler) must run within this fraction of a machine that never
+#: saw the install path.  Keeps "observability is zero-cost when off"
+#: (docs/OBSERVABILITY.md) an enforced property, not a slogan.
+OBS_OVERHEAD_MAX = 0.02
+
 REPORT_SCHEMA = 1
 
 
@@ -266,13 +273,65 @@ def measure_columnar_speedup(rounds: int = 3,
     }
 
 
+def measure_obs_overhead(rounds: int = 3,
+                         scale: float = 0.25) -> Dict[str, float]:
+    """Wall-clock tax of the observability surface when it is *off*.
+
+    Runs the baseline exhibit two ways: a machine built the ordinary
+    way (no tracer, no profiler — the hooks were never installed) and
+    a machine pushed through the full install path with everything
+    disabled (``install_tracer`` with a sink-less disabled tracer,
+    ``install_profiler(None)``).  Rounds alternate between the two
+    tiers so host drift hits both equally; both take best-of-rounds.
+    The reported ``overhead_fraction`` is how much slower the
+    obs-off machine ran, gated in :func:`hard_failures` by
+    :data:`OBS_OVERHEAD_MAX`.
+    """
+    from repro.obs.tracer import Tracer
+
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+
+    def run_once(install_hooks: bool) -> Dict[str, float]:
+        machine = build_machine("baseline",
+                                machine_config=MachineConfig.bench())
+        machine.attach_workload(get_workload("lu", scale=scale))
+        if install_hooks:
+            machine.install_tracer(Tracer(sink=None, enabled=False))
+            machine.install_profiler(None)
+        start = time.perf_counter()
+        machine.run()
+        return {"refs": machine.total_mem_refs(),
+                "wall_seconds": time.perf_counter() - start}
+
+    no_hooks, obs_off = [], []
+    for _ in range(rounds):
+        no_hooks.append(run_once(False))
+        obs_off.append(run_once(True))
+    refs = no_hooks[0]["refs"]
+    base = min(run["wall_seconds"] for run in no_hooks)
+    off = min(run["wall_seconds"] for run in obs_off)
+    return {
+        "rounds": rounds,
+        "scale": scale,
+        "refs": refs,
+        "no_hooks_wall_seconds_best": base,
+        "obs_off_wall_seconds_best": off,
+        "no_hooks_refs_per_sec": refs / base if base else 0.0,
+        "obs_off_refs_per_sec": refs / off if off else 0.0,
+        "overhead_fraction": (off / base - 1.0) if base else 0.0,
+        "max_overhead": OBS_OVERHEAD_MAX,
+    }
+
+
 def throughput_report(rounds: int = 3, scale: float = 0.25,
                       sweep_workers: int = 4,
                       include_sweep: bool = True,
                       sweep_scale: float = 0.1,
                       include_cache: bool = True,
                       include_campaign: bool = True,
-                      include_columnar: bool = True) -> Dict:
+                      include_columnar: bool = True,
+                      include_obs: bool = True) -> Dict:
     """The full ``BENCH_throughput.json`` payload."""
     exhibits = {variant: measure_exhibit(variant, scale=scale,
                                          rounds=rounds)
@@ -295,6 +354,8 @@ def throughput_report(rounds: int = 3, scale: float = 0.25,
                      if include_campaign else None),
         "columnar": (measure_columnar_speedup(rounds=rounds, scale=scale)
                      if include_columnar else None),
+        "obs": (measure_obs_overhead(rounds=rounds, scale=scale)
+                if include_obs else None),
     }
     report["regressions"] = soft_regressions(report)
     return report
@@ -358,6 +419,13 @@ def hard_failures(report: Dict) -> List[str]:
             f"({columnar['columnar_refs_per_sec']:,.0f} vs "
             f"{columnar['scalar_refs_per_sec']:,.0f} refs/s, "
             f"< {COLUMNAR_MIN_SPEEDUP:.2f}x floor)")
+    obs = report.get("obs")
+    if obs and obs["overhead_fraction"] > OBS_OVERHEAD_MAX:
+        failures.append(
+            f"obs: disabled observability hooks cost "
+            f"{obs['overhead_fraction']:.1%} of the no-hooks wall clock "
+            f"(> {OBS_OVERHEAD_MAX:.0%} ceiling) — the off path is no "
+            f"longer free")
     return failures
 
 
@@ -407,6 +475,13 @@ def format_report(report: Dict) -> str:
             f"refs/s vs {columnar['scalar_refs_per_sec']:,.0f} scalar "
             f"({columnar['speedup']:.2f}x, floor "
             f"{columnar['min_speedup']:.2f}x)")
+    obs = report.get("obs")
+    if obs:
+        lines.append(
+            f"  obs off      {obs['overhead_fraction']:+.1%} vs no hooks "
+            f"({obs['obs_off_refs_per_sec']:,.0f} vs "
+            f"{obs['no_hooks_refs_per_sec']:,.0f} refs/s, ceiling "
+            f"{obs['max_overhead']:.0%})")
     for warning in report.get("regressions", []):
         lines.append(f"  WARNING: {warning}")
     return "\n".join(lines)

@@ -118,15 +118,44 @@ def timeline(phases: Sequence, width: int = 60) -> str:
 def profile_table(profile: "dict") -> str:
     """Render a wall-clock profile (``RunResult.profile``) as a table.
 
-    One row per simulator component (hottest first) plus the
-    activations-per-second summary the throughput guard tracks.
+    One row per simulator component (hottest by self time first) with
+    self vs cumulative seconds, plus the activations-per-second summary
+    the throughput guard tracks.
     """
-    rows = [[name, f"{seconds:.3f}", calls]
-            for name, seconds, calls in profile["components"]]
+    rows = [[name, f"{self_s:.3f}", f"{cum_s:.3f}", calls]
+            for name, self_s, cum_s, calls in profile["components"]]
     rows.append(["engine activations / sec",
-                 f"{profile['events_per_sec']:,.0f}", ""])
-    return format_table(["Component", "Wall (s)", "Calls"], rows,
+                 f"{profile['events_per_sec']:,.0f}", "", ""])
+    return format_table(["Component", "Self (s)", "Cumulative (s)",
+                         "Calls"], rows,
                         title="Simulator wall-clock profile")
+
+
+def actor_table(profile: "dict") -> str:
+    """Per-actor host-time attribution table (``repro profile``).
+
+    One row per engine actor, hottest first, with the per-node tier
+    split: protocol-fallout seconds (the scalar directory-transaction
+    calls made by the batch tiers, docs/PERFORMANCE.md §1b) carved out
+    of the actor's dispatch seconds.
+    """
+    fallout = profile.get("fallout", {})
+    entries = sorted(profile.get("actors", {}).items(),
+                     key=lambda kv: kv[1]["seconds"], reverse=True)
+    rows = []
+    for actor_id, info in entries:
+        drop = fallout.get(str(info["node"]), {})
+        rows.append([
+            actor_id, info["node"], info["kind"],
+            f"{info['seconds']:.3f}",
+            f"{info['activations']:,}",
+            f"{drop.get('seconds', 0.0):.3f}",
+            f"{drop.get('calls', 0):,}",
+        ])
+    return format_table(
+        ["Actor", "Node", "Kind", "Wall (s)", "Activations",
+         "Fallout (s)", "Fallout calls"], rows,
+        title="Per-actor host-time attribution")
 
 
 def trace_summary_table(events: "list[dict]") -> str:

@@ -32,7 +32,7 @@ Observability hook points (see docs/OBSERVABILITY.md for the schema):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.core.config import ReViveConfig
 from repro.machine.config import MachineConfig
@@ -77,9 +77,11 @@ class RunResult:
     max_log_bytes: int
     instructions: float
     counters: Dict[str, int] = field(default_factory=dict)
-    #: Wall-clock profile when the run was profiled, else None:
-    #: ``{"components": [(name, seconds, calls), ...],
-    #:    "events_per_sec": float, "total_wall_seconds": float}``.
+    #: Wall-clock profile when the run was profiled, else None — the
+    #: :func:`repro.obs.telemetry.profile_snapshot` shape:
+    #: ``{"schema", "components": [[name, self_s, cum_s, calls], ...],
+    #:    "actors", "fallout", "events", "events_per_sec",
+    #:    "total_wall_seconds"}``.
     profile: Optional[Dict] = None
 
     def overhead_vs(self, baseline: "RunResult") -> float:
@@ -194,12 +196,14 @@ def collect_result(machine: Machine, app: str, variant: str) -> RunResult:
 
 
 def profile_summary(profiler: Optional[Profiler]) -> Optional[Dict]:
-    """The ``RunResult.profile`` dict for a profiler (None when off)."""
+    """The ``RunResult.profile`` dict for a profiler (None when off).
+
+    The shape is :func:`repro.obs.telemetry.profile_snapshot` —
+    components with self/cumulative seconds, per-actor host-time
+    attribution, and per-node tier fallout (docs/OBSERVABILITY.md).
+    """
     if profiler is None:
         return None
-    components: List[Tuple[str, float, int]] = profiler.report()
-    return {
-        "components": components,
-        "events_per_sec": profiler.events_per_sec,
-        "total_wall_seconds": profiler.total_wall_seconds,
-    }
+    from repro.obs.telemetry import profile_snapshot
+
+    return profile_snapshot(profiler)

@@ -62,7 +62,9 @@ class Machine:
         #: off — every span site guards on ``spans.enabled``).
         self.spans = NULL_SPANS
         #: Wall-clock profiler (None = profiling off, zero overhead).
-        self.profiler = profiler
+        #: Set through :meth:`install_profiler` below so the engine's
+        #: attributed dispatch loop and the fast-path tier timers see it.
+        self.profiler = None
         self.network = Network(config, self.stats)
         group_size = revive_config.parity_group_size if revive_config else 0
         if revive_config is not None and revive_config.mirrored_fraction:
@@ -124,6 +126,25 @@ class Machine:
             self.io_manager = IOManager(self)
         if tracer is not None:
             self.install_tracer(tracer)
+        if profiler is not None:
+            self.install_profiler(profiler)
+
+    def install_profiler(self, profiler: Optional[Profiler]) -> None:
+        """Point the host-time attribution machinery at ``profiler``.
+
+        Mirrors :meth:`install_tracer`: sets the machine's own
+        ``profiler`` (the component timers around ``machine.run`` /
+        ``checkpoint`` / ``recovery``), hands it to the simulator as
+        ``host_prof`` (per-actor dispatch attribution, see
+        ``sim/engine.py``), and drops any compiled fast-path closures
+        so the next batch re-binds with (or without) the protocol
+        fallout timers.  Pass ``None`` to detach and return to the
+        zero-overhead dispatch loop.
+        """
+        self.profiler = profiler
+        self.simulator.host_prof = profiler
+        for proc in self.processors:
+            proc.invalidate_fastpath()
 
     def install_tracer(self, tracer: Tracer) -> None:
         """Point every instrumented component at ``tracer``.

@@ -50,7 +50,12 @@ from repro.obs.analysis import (
     span_ends,
     steady_state_span_ends,
 )
-from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.export import (
+    chrome_trace,
+    profile_counter_trace,
+    write_chrome_trace,
+    write_profile_counter_trace,
+)
 from repro.obs.lint import lint_events, lint_file
 from repro.obs.metrics import (
     Counter,
@@ -82,6 +87,16 @@ from repro.obs.spans import (
     SPAN_CLASSES,
     Span,
     SpanRecorder,
+)
+from repro.obs.telemetry import (
+    PROFILE_SCHEMA,
+    actor_coverage,
+    emit_profile_events,
+    fallout_share,
+    flamegraph_lines,
+    merge_profiles,
+    profile_snapshot,
+    prometheus_text,
 )
 from repro.obs.tracer import (
     CATEGORIES,
@@ -136,4 +151,14 @@ __all__ = [
     "latency_report",
     "chrome_trace",
     "write_chrome_trace",
+    "profile_counter_trace",
+    "write_profile_counter_trace",
+    "PROFILE_SCHEMA",
+    "profile_snapshot",
+    "merge_profiles",
+    "actor_coverage",
+    "fallout_share",
+    "emit_profile_events",
+    "flamegraph_lines",
+    "prometheus_text",
 ]

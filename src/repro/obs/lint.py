@@ -73,6 +73,21 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "snap.capture": ("key", "bytes", "epoch", "dur_ms"),
     "snap.restore": ("key", "bytes", "dur_ms"),
     "snap.fork": ("key", "scenarios"),
+    # Host-time attribution snapshots (docs/OBSERVABILITY.md,
+    # ``repro profile``).  Host-side: ``ts`` 0 by convention.
+    "prof.run": ("wall_seconds", "activations"),
+    "prof.actor": ("actor", "node", "kind", "seconds", "activations"),
+    "prof.component": ("component", "self_seconds", "cum_seconds",
+                       "calls"),
+    "prof.tier": ("node", "fallout_seconds", "fallout_calls",
+                  "batch_seconds"),
+    # Live service telemetry (docs/SERVING.md, ``repro stats``).
+    # Host-side: ``ts`` 0 by convention.
+    "stats.heartbeat": ("beat", "inflight", "queue_depth",
+                        "workers_busy", "workers"),
+    "stats.snapshot": ("beat", "metrics"),
+    # Per-request service-phase timing (host milliseconds).
+    "svc.timing": ("key", "phases"),
 }
 
 
@@ -132,6 +147,58 @@ def _lint_span(event: Dict, where: str, open_spans: Dict,
             f"(txn {txn})")
 
 
+def _lint_prof(event: Dict, where: str, prof_block: Dict,
+               problems: List[str]) -> None:
+    """Stateful ``prof.*`` checks: attribution must sum to the run.
+
+    Per-actor host seconds partition the dispatch loop's wall clock,
+    so within one ``prof.run`` block the ``prof.actor`` seconds must
+    not exceed the run's ``wall_seconds`` (small float tolerance).
+    The check closes at the next ``prof.run`` or at end-of-stream
+    (:func:`_finish_prof`).
+    """
+    name = event["name"]
+    if name == "prof.run":
+        _finish_prof(where, prof_block, problems)
+        wall = event.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or wall < 0:
+            problems.append(
+                f"{where}: prof.run wall_seconds {wall!r} is not a "
+                f"non-negative number")
+            return
+        prof_block["run"] = (where, float(wall))
+        prof_block["actor_seconds"] = 0.0
+    elif name == "prof.actor":
+        seconds = event.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            problems.append(
+                f"{where}: prof.actor seconds {seconds!r} is not a "
+                f"non-negative number")
+            return
+        if prof_block.get("run") is None:
+            problems.append(
+                f"{where}: prof.actor without a preceding prof.run")
+            return
+        prof_block["actor_seconds"] += float(seconds)
+
+
+def _finish_prof(where: str, prof_block: Dict,
+                 problems: List[str]) -> None:
+    """Close an open ``prof.run`` block: actor seconds ≤ run seconds."""
+    run = prof_block.get("run")
+    if run is None:
+        return
+    run_where, wall = run
+    attributed = prof_block.get("actor_seconds", 0.0)
+    if attributed > wall * (1 + 1e-6) + 1e-6:
+        problems.append(
+            f"{where}: prof.actor seconds sum to {attributed:.6f} but "
+            f"prof.run ({run_where}) reports wall_seconds {wall:.6f} — "
+            f"attribution exceeds the run it claims to partition")
+    prof_block["run"] = None
+    prof_block["actor_seconds"] = 0.0
+
+
 def lint_events(events: Iterable[Dict],
                 source: str = "<trace>") -> List[str]:
     """Validate an event stream; returns problem strings (empty = ok).
@@ -150,10 +217,17 @@ def lint_events(events: Iterable[Dict],
     difference, its segment kinds must be known, and the segment
     durations must sum exactly to ``dur_ns`` (the closure invariant).
     Spans still open at end-of-stream are flagged.
+
+    Telemetry gets the same treatment: ``stats.heartbeat`` ``beat``
+    numbers must be strictly increasing integers, and within one
+    ``prof.run`` block the ``prof.actor`` seconds must not exceed the
+    run's ``wall_seconds`` (attribution-sums-to-run).
     """
     problems: List[str] = []
     last_seq = None
     open_spans: Dict = {}
+    last_beat = None
+    prof_block: Dict = {"run": None, "actor_seconds": 0.0}
     for position, event in enumerate(events):
         where = f"{source}:{position}"
         if not isinstance(event, dict):
@@ -204,9 +278,23 @@ def lint_events(events: Iterable[Dict],
             continue
         if cat == "span":
             _lint_span(event, where, open_spans, problems)
+        elif cat == "prof":
+            _lint_prof(event, where, prof_block, problems)
+        elif name == "stats.heartbeat":
+            beat = event["beat"]
+            if not isinstance(beat, int):
+                problems.append(
+                    f"{where}: heartbeat beat {beat!r} is not an integer")
+            elif last_beat is not None and beat <= last_beat:
+                problems.append(
+                    f"{where}: heartbeat beat {beat} does not increase "
+                    f"(previous {last_beat})")
+            else:
+                last_beat = beat
     for txn in sorted(open_spans):
         problems.append(
             f"{source}: span.begin for txn {txn} has no matching span.end")
+    _finish_prof(f"{source}:<end>", prof_block, problems)
     return problems
 
 

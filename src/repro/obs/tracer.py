@@ -45,10 +45,13 @@ SCHEMA_VERSION = 2
 #: The known event categories, in emission-site order.  ``svc`` events
 #: come from the serving layer (result cache + simulation service, see
 #: docs/SERVING.md), happen outside simulated time, and carry ``ts`` 0
-#: by convention.  Adding a category is additive within a schema
-#: version — readers ignore categories they do not know.
+#: by convention.  ``prof`` (host-time attribution snapshots) and
+#: ``stats`` (live service heartbeats/metrics) are host-side too and
+#: share the ``ts`` 0 convention.  Adding a category is additive
+#: within a schema version — readers ignore categories they do not
+#: know.
 CATEGORIES = ("sim", "coh", "mem", "log", "ckpt", "recovery", "span",
-              "svc", "snap")
+              "svc", "snap", "prof", "stats")
 
 
 class RingBufferSink:

@@ -19,7 +19,7 @@ Quick start::
         print(event["name"])
 """
 
-from repro.serve.client import submit
+from repro.serve.client import fetch_metrics, submit
 from repro.serve.service import (
     DEFAULT_HOST,
     DEFAULT_PORT,
@@ -38,6 +38,7 @@ __all__ = [
     "ServiceError",
     "SimulationService",
     "bound_port",
+    "fetch_metrics",
     "request_key",
     "start_server",
     "submit",

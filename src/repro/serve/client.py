@@ -3,9 +3,10 @@
 One request per connection: :func:`submit` sends the request as a
 single JSON line and yields each ``svc.*`` event as the server streams
 it back, until the server closes the connection (after ``svc.done`` or
-``svc.error``).  The protocol and event catalog are documented in
-``docs/SERVING.md``; the worked example there uses exactly this
-function.
+``svc.error``).  :func:`fetch_metrics` speaks the same port's HTTP
+side (``GET /metrics``) and returns the Prometheus text exposition.
+The protocol and event catalog are documented in ``docs/SERVING.md``;
+the worked example there uses exactly these functions.
 """
 
 from __future__ import annotations
@@ -40,3 +41,27 @@ def submit(request: Dict, host: str = DEFAULT_HOST,
                 except json.JSONDecodeError as exc:
                     raise ValueError(
                         f"non-JSON line from server: {line[:80]!r}") from exc
+
+
+def fetch_metrics(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                  timeout: Optional[float] = 30.0) -> str:
+    """Fetch ``GET /metrics`` from a running service.
+
+    Returns the Prometheus text-exposition body (what a scraper would
+    ingest).  Raises ``OSError`` when no server listens and
+    ``ValueError`` on a non-200 response.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    header, sep, body = b"".join(chunks).partition(b"\r\n\r\n")
+    status = header.split(b"\r\n", 1)[0].split()
+    if not sep or len(status) < 2 or status[1] != b"200":
+        raise ValueError(f"metrics endpoint returned "
+                         f"{header.decode('latin-1', 'replace')[:80]!r}")
+    return body.decode("utf-8")

@@ -26,6 +26,16 @@ server speaking newline-delimited JSON — one request line in, one
 event per line out, connection closed after ``svc.done`` /
 ``svc.error``.  :func:`repro.serve.client.submit` is the matching
 client.
+
+Telemetry (docs/SERVING.md "Live telemetry"): every service keeps a
+:class:`~repro.obs.metrics.MetricsRegistry` of request counters,
+worker-pool gauges, and per-phase latency histograms; a heartbeat
+task samples the pool/queue gauges while the server runs; the
+``stats`` op streams recent heartbeats plus the full metrics
+snapshot; ``svc.timing`` attributes each request's host time to
+cache lookup, queue wait, and worker execution; and the same TCP
+port answers ``GET /metrics`` with the Prometheus text exposition,
+so a deployed ``repro serve`` is scrapeable as-is.
 """
 
 from __future__ import annotations
@@ -37,6 +47,8 @@ import json
 import os
 import shutil
 import tempfile
+from collections import deque
+from time import perf_counter
 from typing import AsyncIterator, Dict, List, Optional, Tuple
 
 from repro.harness import parallel
@@ -54,7 +66,9 @@ from repro.harness.store import (
     run_payload,
     store_key,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import CacheHealthMonitor, MonitorSuite
+from repro.obs.telemetry import prometheus_text
 from repro.obs.tracer import SCHEMA_VERSION, Tracer
 from repro.workloads.registry import APP_NAMES
 
@@ -67,7 +81,13 @@ DEFAULT_PORT = 7316
 DEFAULT_HOST = "127.0.0.1"
 
 #: The request operations the service accepts.
-OPS = ("run", "latency", "sweep", "report", "campaign")
+OPS = ("run", "latency", "sweep", "report", "campaign", "stats")
+
+#: Seconds between heartbeat samples while the TCP server runs.
+HEARTBEAT_PERIOD_S = 2.0
+
+#: Heartbeats retained for ``stats`` requests to re-stream.
+_RECENT_HEARTBEATS = 64
 
 #: Variants a ``campaign`` request may name: the campaign warms to a
 #: committed checkpoint, so checkpoint-free configurations are out.
@@ -97,6 +117,9 @@ def _normalise(request) -> Dict:
     if op not in OPS:
         raise ServiceError(f"unknown op {op!r}; choose from "
                            f"{', '.join(OPS)}")
+    if op == "stats":
+        # Pure telemetry read: no apps, machines, or cache involved.
+        return {"op": "stats"}
     if op in ("run", "latency", "campaign"):
         app = request.get("app")
         apps = [app] if app is not None else list(request.get("apps") or [])
@@ -230,13 +253,21 @@ class SimulationService:
     to a thread.  ``self.health`` is a :class:`MonitorSuite` holding a
     :class:`CacheHealthMonitor` fed by the store's ``svc.cache_*``
     events — ``service.health.verdicts()`` is the live cache health.
+    ``self.metrics`` is a :class:`MetricsRegistry` of request
+    counters, pool gauges, and phase latency histograms; the ``stats``
+    op and ``GET /metrics`` expose it (docs/SERVING.md).
     """
 
     def __init__(self, cache_dir: Optional[str] = None,
                  workers: Optional[int] = None,
-                 max_cache_bytes: Optional[int] = None) -> None:
+                 max_cache_bytes: Optional[int] = None,
+                 heartbeat_period: float = HEARTBEAT_PERIOD_S) -> None:
         self.workers = workers or max(1, min(os.cpu_count() or 1, 4))
         self.health = MonitorSuite([CacheHealthMonitor()])
+        self.metrics = MetricsRegistry()
+        self.heartbeat_period = heartbeat_period
+        self.recent_heartbeats: "deque[Dict]" = \
+            deque(maxlen=_RECENT_HEARTBEATS)
         self.store: Optional[ResultStore] = None
         if cache_dir is not None:
             self.store = ResultStore(cache_dir, max_bytes=max_cache_bytes,
@@ -244,6 +275,46 @@ class SimulationService:
         self._inflight: Dict[str, asyncio.Task] = {}
         self._executor = None
         self._executor_broken = False
+        self._beat = 0
+        self._busy = 0
+        self._heartbeat_task: Optional[asyncio.Task] = None
+
+    # -- telemetry -----------------------------------------------------
+
+    def heartbeat(self) -> Dict:
+        """Sample the pool/queue gauges; returns ``stats.heartbeat`` fields.
+
+        ``beat`` is a strictly increasing sequence number (the trace
+        linter checks monotonicity), ``inflight`` the coalescable
+        in-flight cells, ``workers_busy``/``queue_depth`` the pool
+        occupancy split at the worker count.  Called by the periodic
+        heartbeat task while the server runs and on demand by every
+        ``stats`` request, so the gauges are fresh either way.
+        """
+        self._beat += 1
+        inflight = len(self._inflight)
+        busy = min(self._busy, self.workers)
+        queued = max(0, self._busy - self.workers)
+        self.metrics.gauge("svc.inflight").set(inflight)
+        self.metrics.gauge("svc.workers_busy").set(busy)
+        self.metrics.gauge("svc.queue_depth").set(queued)
+        self.metrics.gauge("svc.workers").set(self.workers)
+        sample = {"beat": self._beat, "inflight": inflight,
+                  "queue_depth": queued, "workers_busy": busy,
+                  "workers": self.workers}
+        self.recent_heartbeats.append(sample)
+        return sample
+
+    def start_heartbeat(self) -> None:
+        """Start the periodic gauge sampler (idempotent; needs a loop)."""
+        if self._heartbeat_task is None or self._heartbeat_task.done():
+            self._heartbeat_task = asyncio.ensure_future(
+                self._heartbeat_loop())
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            self.heartbeat()
+            await asyncio.sleep(self.heartbeat_period)
 
     # -- request handling ----------------------------------------------
 
@@ -273,9 +344,13 @@ class SimulationService:
         job order): ``svc.cache_hit`` *or* ``svc.cache_miss`` +
         ``svc.scheduled``/``svc.coalesced``, then ``svc.verdicts``,
         ``svc.latency``, ``svc.result``; then ``svc.report`` for
-        ``report`` requests; then ``svc.done``.  Any rejection or
-        internal failure ends the stream with ``svc.error`` instead.
-        Events carry the standard trace envelope at ``ts`` 0 and pass
+        ``report`` requests; then ``svc.timing`` (this request's host
+        time split into cache-lookup / queue-wait / execute phases)
+        and ``svc.done``.  A ``stats`` request instead streams the
+        recent ``stats.heartbeat`` samples and one ``stats.snapshot``
+        of the full metrics registry.  Any rejection or internal
+        failure ends the stream with ``svc.error`` instead.  Events
+        carry the standard trace envelope at ``ts`` 0 and pass
         ``repro trace-lint``.
         """
         seq = 0
@@ -288,10 +363,22 @@ class SimulationService:
             seq += 1
             return event
 
+        started = perf_counter()
         try:
             req = _normalise(request)
             key = request_key(req)
+            self.metrics.counter(f"svc.requests.{req['op']}").add()
             yield env("svc.accepted", op=req["op"], key=key)
+
+            if req["op"] == "stats":
+                sample = self.heartbeat()
+                for beat in list(self.recent_heartbeats):
+                    yield env("stats.heartbeat", cat="stats", **beat)
+                yield env("stats.snapshot", cat="stats",
+                          beat=sample["beat"],
+                          metrics=self.metrics.full_snapshot())
+                yield env("svc.done", key=key, jobs=0, cached=0)
+                return
 
             if req["op"] == "campaign":
                 use_cache = self.store is not None and not req["no_cache"]
@@ -314,6 +401,7 @@ class SimulationService:
             jobs = self._jobs_for(req)
             use_cache = self.store is not None and not req["no_cache"]
             cells = []
+            lookup_begin = perf_counter()
             for app, variant, kwargs in jobs:
                 jkey = store_key(job_digest(app, variant, kwargs))
                 entry = self.store.get(jkey) if use_cache else None
@@ -331,25 +419,35 @@ class SimulationService:
                     if task is None:
                         task = asyncio.ensure_future(self._run_and_store(
                             jkey, app, variant, kwargs,
-                            register=use_cache, store=use_cache))
+                            register=use_cache, store=use_cache,
+                            scheduled_at=perf_counter()))
                         if use_cache:
                             self._inflight[jkey] = task
                 cells.append((app, variant, jkey, entry, task, coalesced))
+            lookup_s = perf_counter() - lookup_begin
 
             results: Dict[Tuple[str, str], Tuple] = {}
             hits = 0
+            queue_wait_s = 0.0
+            execute_s = 0.0
             for app, variant, jkey, entry, task, coalesced in cells:
                 if entry is not None:
                     hits += 1
+                    self.metrics.counter("svc.cache_hits").add()
                     yield env("svc.cache_hit", key=jkey)
                     result = result_from_payload(entry.payload)
                     manifest = entry.payload["manifest"]
                     cached = True
                 else:
+                    self.metrics.counter("svc.cache_misses").add()
+                    if coalesced:
+                        self.metrics.counter("svc.coalesced").add()
                     yield env("svc.cache_miss", key=jkey)
                     yield env("svc.coalesced" if coalesced
                               else "svc.scheduled", key=jkey)
-                    result, manifest = await task
+                    result, manifest, timing = await task
+                    queue_wait_s += timing["queue_wait_s"]
+                    execute_s += timing["execute_s"]
                     cached = False
                 results[(app, variant)] = (result, manifest)
                 yield env("svc.verdicts", key=jkey, app=app,
@@ -374,10 +472,20 @@ class SimulationService:
                     rows.append(row)
                 yield env("svc.report", key=key, rows=rows)
 
+            total_s = perf_counter() - started
+            self.metrics.log_histogram("svc.request_us").record(
+                int(total_s * 1e6))
+            yield env("svc.timing", key=key, phases={
+                "cache_lookup_ms": round(lookup_s * 1e3, 3),
+                "queue_wait_ms": round(queue_wait_s * 1e3, 3),
+                "execute_ms": round(execute_s * 1e3, 3),
+                "total_ms": round(total_s * 1e3, 3)})
             yield env("svc.done", key=key, jobs=len(jobs), cached=hits)
         except ServiceError as exc:
+            self.metrics.counter("svc.errors").add()
             yield env("svc.error", error=str(exc))
         except Exception as exc:  # noqa: BLE001 — stream, don't crash
+            self.metrics.counter("svc.errors").add()
             yield env("svc.error", error=f"internal: {exc!r}")
 
     # -- execution -----------------------------------------------------
@@ -413,25 +521,40 @@ class SimulationService:
         loop = asyncio.get_running_loop()
         payload = (req, cache_dir)
         executor = self._ensure_executor()
+        self._busy += 1
         try:
-            return await loop.run_in_executor(
-                executor, _service_campaign, payload)
-        except (OSError, PermissionError, BrokenProcessPool):
-            if executor is None:
-                raise
-            self._executor_broken = True
-            self._executor = None
-            return await loop.run_in_executor(
-                None, _service_campaign, payload)
+            try:
+                return await loop.run_in_executor(
+                    executor, _service_campaign, payload)
+            except (OSError, PermissionError, BrokenProcessPool):
+                if executor is None:
+                    raise
+                self._executor_broken = True
+                self._executor = None
+                return await loop.run_in_executor(
+                    None, _service_campaign, payload)
+        finally:
+            self._busy -= 1
 
     async def _run_and_store(self, key: str, app: str, variant: str,
-                             kwargs: Dict, register: bool,
-                             store: bool) -> Tuple:
-        """Simulate one cell in the pool; store the entry on the way out."""
+                             kwargs: Dict, register: bool, store: bool,
+                             scheduled_at: float) -> Tuple:
+        """Simulate one cell in the pool; store the entry on the way out.
+
+        Returns ``(result, manifest, timing)`` where ``timing`` splits
+        the cell's host time into ``queue_wait_s`` (scheduling to
+        worker start — event-loop plus pool queueing) and
+        ``execute_s`` (worker wall time); both also land in the
+        ``svc.queue_wait_us``/``svc.execute_us`` latency histograms.
+        """
+        timing = {"queue_wait_s": 0.0, "execute_s": 0.0}
         try:
             loop = asyncio.get_running_loop()
             spool = tempfile.mkdtemp(prefix="repro-serve-")
             payload = (app, variant, kwargs, spool)
+            begin = perf_counter()
+            timing["queue_wait_s"] = begin - scheduled_at
+            self._busy += 1
             try:
                 from concurrent.futures.process import BrokenProcessPool
 
@@ -449,17 +572,26 @@ class SimulationService:
                     result, manifest, trace = await loop.run_in_executor(
                         None, _service_execute, payload)
             finally:
+                self._busy -= 1
+                timing["execute_s"] = perf_counter() - begin
                 shutil.rmtree(spool, ignore_errors=True)
+            self.metrics.log_histogram("svc.queue_wait_us").record(
+                int(timing["queue_wait_s"] * 1e6))
+            self.metrics.log_histogram("svc.execute_us").record(
+                int(timing["execute_s"] * 1e6))
             if store and self.store is not None:
                 self.store.put(key, KIND_RUN, run_payload(result, manifest),
                                artifacts={TRACE_ARTIFACT: trace})
-            return result, manifest
+            return result, manifest, timing
         finally:
             if register:
                 self._inflight.pop(key, None)
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool and heartbeat down (idempotent)."""
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
@@ -471,6 +603,43 @@ def _event_line(event: Dict) -> bytes:
     return (json.dumps(event, separators=(",", ":")) + "\n").encode("utf-8")
 
 
+async def _serve_http(service: SimulationService, request_line: bytes,
+                      reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+    """Minimal HTTP/1.0 endpoint on the JSONL port: ``GET /metrics``.
+
+    Prometheus and curl speak HTTP, not the JSONL protocol, so the
+    server answers any line starting with ``GET `` as an HTTP request:
+    ``/metrics`` returns the text exposition of the metrics registry
+    (gauges refreshed by an on-demand heartbeat), anything else 404s.
+    One request per connection, ``Connection: close`` semantics.
+    """
+    try:
+        while True:  # drain request headers up to the blank line / EOF
+            header = await reader.readline()
+            if not header.strip():
+                break
+    except (ConnectionResetError, BrokenPipeError):
+        return
+    parts = request_line.decode("latin-1").split()
+    path = parts[1].split("?")[0] if len(parts) > 1 else "/"
+    if path == "/metrics":
+        service.heartbeat()
+        body = prometheus_text(service.metrics.full_snapshot()) \
+            .encode("utf-8")
+        status = b"200 OK"
+        ctype = b"text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = b"repro serve: try GET /metrics\n"
+        status = b"404 Not Found"
+        ctype = b"text/plain; charset=utf-8"
+    writer.write(b"HTTP/1.0 " + status + b"\r\n"
+                 b"Content-Type: " + ctype + b"\r\n"
+                 b"Content-Length: " + str(len(body)).encode("ascii")
+                 + b"\r\nConnection: close\r\n\r\n" + body)
+    await writer.drain()
+
+
 async def _handle(service: SimulationService,
                   reader: asyncio.StreamReader,
                   writer: asyncio.StreamWriter) -> None:
@@ -478,6 +647,9 @@ async def _handle(service: SimulationService,
     try:
         line = await reader.readline()
         if not line.strip():
+            return
+        if line.startswith(b"GET "):
+            await _serve_http(service, line, reader, writer)
             return
         try:
             request = json.loads(line)
@@ -504,11 +676,16 @@ async def _handle(service: SimulationService,
 async def start_server(service: SimulationService,
                        host: str = DEFAULT_HOST,
                        port: int = DEFAULT_PORT) -> asyncio.AbstractServer:
-    """Bind the JSONL TCP server (``port=0`` picks a free port)."""
+    """Bind the JSONL TCP server (``port=0`` picks a free port).
+
+    Also starts the service's heartbeat task so the pool/queue gauges
+    are sampled every ``heartbeat_period`` seconds while serving.
+    """
 
     async def handler(reader, writer):
         await _handle(service, reader, writer)
 
+    service.start_heartbeat()
     return await asyncio.start_server(handler, host=host, port=port)
 
 

@@ -32,6 +32,7 @@ run pays one attribute read per event site.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.obs.tracer import NULL_TRACER
@@ -111,7 +112,7 @@ class Simulator:
     """
 
     __slots__ = ("queue", "now", "_hook", "_hook_time", "activations",
-                 "tracer", "actors", "_actor_ids")
+                 "tracer", "actors", "_actor_ids", "host_prof")
 
     def __init__(self) -> None:
         self.queue = EventQueue()
@@ -122,6 +123,12 @@ class Simulator:
         self.activations = 0
         #: Trace sink for ``sim.*`` events (``NULL_TRACER`` when off).
         self.tracer = NULL_TRACER
+        #: Host-time attribution sink (a
+        #: :class:`~repro.obs.profiling.Profiler`), or ``None`` — the
+        #: default — in which case :meth:`run` takes the unmetered
+        #: dispatch loop and pays nothing.  Deliberately host-side
+        #: state: :meth:`snapshot`/:meth:`restore` never touch it.
+        self.host_prof = None
         #: Registered actors, indexed by actor id (registration order).
         self.actors: List[Callable[[int], Optional[int]]] = []
         self._actor_ids: Dict[int, int] = {}
@@ -194,6 +201,8 @@ class Simulator:
         each global-hook trigger, and ``sim.actor_retire`` when an
         actor returns ``None``.
         """
+        if self.host_prof is not None:
+            return self._run_attributed(until)
         tracer = self.tracer
         actors = self.actors
         if tracer.enabled:
@@ -251,6 +260,81 @@ class Simulator:
                     self.queue.push(next_activation, actor_id)
                     break
                 time = next_activation
+        if tracer.enabled:
+            tracer.emit(self.now, "sim", "sim.run_end",
+                        activations=self.activations)
+        return self.now
+
+    def _run_attributed(self, until: Optional[int] = None) -> int:
+        """:meth:`run` with per-actor host-time attribution.
+
+        Structurally identical to :meth:`run` — same hook, horizon,
+        batching, retirement, and trace semantics, so simulated results
+        are bit-identical — but every ``actor(time)`` call is bracketed
+        by ``perf_counter`` reads.  Seconds and activation counts
+        accumulate in a local dict (one list per actor, mutated in
+        place) and flush into :attr:`host_prof` once per :meth:`run`
+        call, keeping per-activation overhead to the two clock reads.
+        """
+        prof = self.host_prof
+        attributed: Dict[int, List] = {}
+        tracer = self.tracer
+        actors = self.actors
+        if tracer.enabled:
+            tracer.emit(self.now, "sim", "sim.run_begin", until=until,
+                        pending=len(self.queue))
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if (self._hook is not None and self._hook_time is not None
+                    and next_time is not None
+                    and next_time >= self._hook_time):
+                if until is not None and self._hook_time > until:
+                    break
+                self.now = max(self.now, self._hook_time)
+                if tracer.enabled:
+                    tracer.emit(self._hook_time, "sim", "sim.hook_fire")
+                self._hook_time = self._hook(self._hook_time)
+                continue
+            if until is not None and next_time is not None \
+                    and next_time > until:
+                break
+            time, actor_id = self.queue.pop()
+            actor = actors[actor_id]
+            cell = attributed.get(actor_id)
+            if cell is None:
+                cell = attributed[actor_id] = [0.0, 0]
+            while True:
+                self.now = max(self.now, time)
+                self.activations += 1
+                begin = perf_counter()
+                next_activation = actor(time)
+                cell[0] += perf_counter() - begin
+                cell[1] += 1
+                if next_activation is None:
+                    if tracer.enabled:
+                        tracer.emit(self.now, "sim", "sim.actor_retire",
+                                    actor=getattr(actor, "proc_id", None))
+                    break
+                if self.queue:
+                    self.queue.push(next_activation, actor_id)
+                    break
+                if (self._hook is not None and self._hook_time is not None
+                        and next_activation >= self._hook_time):
+                    self.queue.push(next_activation, actor_id)
+                    break
+                if until is not None and next_activation > until:
+                    self.queue.push(next_activation, actor_id)
+                    break
+                time = next_activation
+        for actor_id, cell in attributed.items():
+            prof.note_actor(actor_id, cell[0], cell[1])
+            if actor_id not in prof.actor_meta:
+                actor = actors[actor_id]
+                node = getattr(actor, "node_id",
+                               getattr(actor, "proc_id", None))
+                kind = type(getattr(actor, "__self__", actor)).__name__
+                prof.label_actor(actor_id,
+                                 node if node is not None else -1, kind)
         if tracer.enabled:
             tracer.emit(self.now, "sim", "sim.run_end",
                         activations=self.activations)

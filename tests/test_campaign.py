@@ -91,6 +91,51 @@ class TestForkedEqualsCold:
         assert parallel.outcomes == serial.outcomes
 
 
+class TestCampaignProfiles:
+    def test_profiling_never_perturbs_outcomes(self):
+        plain = run_campaign("fft", "cp_parity", serial=True,
+                             **RUN_KWARGS, **GRID)
+        profiled = run_campaign("fft", "cp_parity", serial=True,
+                                profile=True, **RUN_KWARGS, **GRID)
+        cold = run_campaign("fft", "cp_parity", serial=True, cold=True,
+                            profile=True, **RUN_KWARGS, **GRID)
+        # The cold-vs-forked equality contract survives profiling, and
+        # the profile rides beside the outcomes, never inside them.
+        assert profiled.outcomes == plain.outcomes
+        assert cold.outcomes == plain.outcomes
+        assert plain.profile is None
+        assert "profile" not in plain.outcomes[0]
+
+    def test_merged_profile_covers_every_scenario(self):
+        campaign = run_campaign("fft", "cp_parity", serial=True,
+                                profile=True, **RUN_KWARGS, **GRID)
+        profile = campaign.profile
+        assert profile is not None
+        assert profile["jobs"] == len(campaign.outcomes) == 4
+        assert profile["total_wall_seconds"] > 0
+        assert profile["events"] > 0
+        # Fork restores never double-count: each scenario profiles
+        # only its own detect/fault/recover tail, so per-actor
+        # attribution stays within the merged run wall.
+        attributed = sum(a["seconds"]
+                         for a in profile["actors"].values())
+        assert 0 < attributed <= profile["total_wall_seconds"] * (1 + 1e-6)
+        assert campaign.to_jsonable()["profile"] == profile
+
+    def test_parallel_profile_merges_in_scenario_order(self):
+        parallel = run_campaign("fft", "cp_parity", workers=2,
+                                profile=True, **RUN_KWARGS, **GRID)
+        assert parallel.outcomes == run_campaign(
+            "fft", "cp_parity", serial=True, **RUN_KWARGS,
+            **GRID).outcomes
+        profile = parallel.profile
+        assert profile is not None and profile["jobs"] == 4
+        # Deterministic merge: maps come back key-sorted regardless of
+        # worker completion order.
+        assert list(profile["actors"]) == sorted(profile["actors"],
+                                                 key=int)
+
+
 class TestWarmImageStore:
     def test_miss_then_hit_roundtrip(self, tmp_path):
         store = str(tmp_path / "store")

@@ -212,10 +212,12 @@ class TestRecoveryBreakdownFromTrace:
         _machine, _result, events = self.run_traced_node_loss(tmp_path)
         counts = category_counts(events)
         # Every simulator-emitted category; "svc" belongs to the
-        # serving layer (docs/SERVING.md) and "snap" to the campaign
-        # layer (docs/SNAPSHOTS.md) — neither appears in a machine
-        # trace.
-        assert set(counts) == set(CATEGORIES) - {"svc", "snap"}
+        # serving layer (docs/SERVING.md), "snap" to the campaign
+        # layer (docs/SNAPSHOTS.md), and "prof"/"stats" to the
+        # host-time/telemetry layer (docs/OBSERVABILITY.md) — none of
+        # them appears in a plain machine trace.
+        assert set(counts) == set(CATEGORIES) - {"svc", "snap",
+                                                 "prof", "stats"}
         names = {e["name"] for e in events}
         assert {"sim.run_begin", "coh.transition", "log.append",
                 "ckpt.commit", "recovery.begin", "recovery.end",

@@ -126,6 +126,54 @@ class TestTracedSweepDeterminism:
             assert {e["cat"] for e in events} == {"ckpt"}
 
 
+class TestProfiledSweep:
+    """profile=True: host-time attribution rides a side channel and
+    never perturbs the sweep's deterministic outputs."""
+
+    def _strip_profiles(self, sweep):
+        stripped = {}
+        for key, result in sweep.results.items():
+            fields = asdict(result)
+            fields.pop("profile")
+            stripped[key] = fields
+        return stripped
+
+    def test_profiled_results_match_unprofiled(self):
+        plain = _sweep(serial=True)
+        profiled = _sweep(serial=True, profile=True)
+        assert self._strip_profiles(profiled) == \
+            self._strip_profiles(plain)
+        assert plain.profile is None
+        assert profiled.profile is not None
+        assert profiled.profile["jobs"] == len(profiled.job_order) == 2
+        assert profiled.profile["total_wall_seconds"] > 0
+
+    def test_parallel_profile_merges_all_jobs(self):
+        parallel = _sweep(workers=2, profile=True)
+        assert parallel.profile["jobs"] == len(parallel.job_order)
+        # Merged maps come back key-sorted — deterministic for any
+        # worker completion order.
+        assert list(parallel.profile["actors"]) == \
+            sorted(parallel.profile["actors"], key=int)
+
+    def test_profiled_ledger_stays_byte_identical(self, tmp_path):
+        import json
+
+        plain_dir = tmp_path / "plain"
+        prof_dir = tmp_path / "profiled"
+        _sweep(serial=True, trace_dir=str(plain_dir))
+        profiled = _sweep(serial=True, profile=True,
+                          trace_dir=str(prof_dir))
+        # Profiling must never leak wall clock into the ledger: the
+        # merged manifest is byte-identical with and without it.  The
+        # profile lands in its own side-channel file instead.
+        assert (plain_dir / "sweep.ledger.json").read_bytes() == \
+            (prof_dir / "sweep.ledger.json").read_bytes()
+        side = json.loads((prof_dir / "sweep.profile.json").read_text())
+        assert side == profiled.profile
+        assert not (plain_dir / "sweep.profile.json").exists()
+
+
 class TestExecutor:
     def test_job_order_is_app_major(self):
         jobs = sweep_jobs(["fft", "lu"], ["baseline", "cp_parity"])

@@ -26,6 +26,7 @@ from repro.serve import (
     ServiceError,
     SimulationService,
     bound_port,
+    fetch_metrics,
     request_key,
     start_server,
     submit,
@@ -104,12 +105,26 @@ class TestCachePath:
         _, first, second = served
         assert names(first) == ["svc.accepted", "svc.cache_miss",
                                 "svc.scheduled", "svc.verdicts",
-                                "svc.latency", "svc.result", "svc.done"]
+                                "svc.latency", "svc.result",
+                                "svc.timing", "svc.done"]
         assert names(second) == ["svc.accepted", "svc.cache_hit",
                                  "svc.verdicts", "svc.latency",
-                                 "svc.result", "svc.done"]
+                                 "svc.result", "svc.timing", "svc.done"]
         assert first[-1]["cached"] == 0
         assert second[-1]["cached"] == 1
+
+    def test_timing_attributes_request_host_time(self, served):
+        _, first, second = served
+        miss = next(e for e in first if e["name"] == "svc.timing")
+        hit = next(e for e in second if e["name"] == "svc.timing")
+        for timing in (miss, hit):
+            assert set(timing["phases"]) == {"cache_lookup_ms",
+                                             "queue_wait_ms",
+                                             "execute_ms", "total_ms"}
+            assert timing["phases"]["total_ms"] > 0
+        # The miss paid for a real simulation; the hit ran nothing.
+        assert miss["phases"]["execute_ms"] > 0
+        assert hit["phases"]["execute_ms"] == 0
 
     def test_cached_result_identical(self, served):
         _, first, second = served
@@ -194,6 +209,48 @@ class TestOps:
         assert done["jobs"] == 2           # baseline + cp_parity cells
 
 
+class TestStats:
+    def test_stats_op_streams_heartbeat_and_snapshot(self, tmp_path):
+        service = make_service(tmp_path)
+        collect(service, RUN_REQUEST)           # generate some traffic
+        events = collect(service, {"op": "stats"})
+        assert names(events) == ["svc.accepted", "stats.heartbeat",
+                                 "stats.snapshot", "svc.done"]
+        assert lint_events(events) == []
+        beat = next(e for e in events if e["name"] == "stats.heartbeat")
+        assert beat["workers"] == service.workers
+        assert beat["inflight"] == 0            # nothing running now
+        snapshot = next(e for e in events if e["name"] == "stats.snapshot")
+        metrics = snapshot["metrics"]
+        assert metrics["counters"]["svc.requests.run"] == 1
+        assert metrics["counters"]["svc.cache_misses"] == 1
+        assert metrics["gauges"]["svc.workers"]["value"] == service.workers
+        assert metrics["histograms"]["svc.execute_us"]["count"] == 1
+
+    def test_heartbeat_beats_stay_monotonic_across_requests(self, tmp_path):
+        service = make_service(tmp_path)
+        first = collect(service, {"op": "stats"})
+        second = collect(service, {"op": "stats"})
+        beats1 = [e["beat"] for e in first
+                  if e["name"] == "stats.heartbeat"]
+        beats2 = [e["beat"] for e in second
+                  if e["name"] == "stats.heartbeat"]
+        # Strictly increasing within each stream (the lint invariant);
+        # the second stream replays the ring, then adds a fresh beat.
+        assert beats1 == sorted(set(beats1))
+        assert beats2 == sorted(set(beats2))
+        assert beats2[-1] > beats1[-1]
+        assert lint_events(second) == []
+        snap1 = next(e for e in first if e["name"] == "stats.snapshot")
+        snap2 = next(e for e in second if e["name"] == "stats.snapshot")
+        assert snap2["beat"] > snap1["beat"]
+
+    def test_errors_are_counted(self, tmp_path):
+        service = make_service(tmp_path)
+        collect(service, {"op": "frobnicate"})
+        assert service.metrics.value("svc.errors") == 1
+
+
 class TestCoalescing:
     def test_concurrent_requests_share_one_computation(self, tmp_path):
         service = make_service(tmp_path)
@@ -240,6 +297,65 @@ class TestTransport:
         assert "svc.cache_miss" in names(first)
         assert "svc.cache_hit" in names(second)
         assert lint_events(first) == []
+
+    def test_get_metrics_serves_prometheus_text(self, tmp_path):
+        service = make_service(tmp_path)
+
+        async def go():
+            server = await start_server(service, port=0)
+            port = bound_port(server)
+            loop = asyncio.get_running_loop()
+
+            def call():
+                list(submit(RUN_REQUEST, port=port, timeout=120))
+                return fetch_metrics(port=port)
+
+            try:
+                return await loop.run_in_executor(None, call)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        body = asyncio.run(go())
+        assert body.endswith("\n")
+        lines = body.splitlines()
+        assert "# TYPE repro_svc_requests_run counter" in lines
+        assert "repro_svc_requests_run 1" in lines
+        assert f"repro_svc_workers {service.workers}" in lines
+        assert any(line.startswith("repro_svc_execute_us_count ")
+                   for line in lines)
+
+    def test_get_unknown_path_404s(self, tmp_path):
+        import socket
+
+        service = make_service(tmp_path)
+
+        async def go():
+            server = await start_server(service, port=0)
+            port = bound_port(server)
+            loop = asyncio.get_running_loop()
+
+            def call():
+                with socket.create_connection(("127.0.0.1", port),
+                                              timeout=30) as sock:
+                    sock.sendall(b"GET /nope HTTP/1.0\r\n\r\n")
+                    chunks = b""
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        chunks += chunk
+                    return chunks
+
+            try:
+                return await loop.run_in_executor(None, call)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        response = asyncio.run(go())
+        assert response.startswith(b"HTTP/1.0 404 ")
+        assert b"GET /metrics" in response
 
     def test_malformed_request_line_streams_svc_error(self, tmp_path):
         import socket

@@ -145,6 +145,55 @@ class TestTraceBitIdentity:
         assert replay == tail
 
 
+class TestProfilerAcrossRoundtrip:
+    """Host-time attribution is host-side state: ``snapshot()`` never
+    captures it and ``restore()`` never clobbers it, so a profiler
+    installed on the restoring machine sees exactly the continuation's
+    work — no double counting of the pre-pause run."""
+
+    def test_restored_machine_profiles_only_the_continuation(self):
+        from repro.obs.profiling import Profiler
+        from repro.obs.telemetry import actor_coverage, profile_snapshot
+
+        pause = 3 * INTERVAL_NS
+        reference = build("fft", "cp_parity")
+        ref_profiler = Profiler()
+        reference.install_profiler(ref_profiler)
+        reference.run(until=pause)
+        acts_at_pause = reference.simulator.activations
+        image = pickle.dumps(reference.snapshot())
+        reference.run()
+        total_acts = reference.simulator.activations
+
+        restored = build("fft", "cp_parity")
+        restored.restore(pickle.loads(image))
+        profiler = Profiler()
+        restored.install_profiler(profiler)
+        restored.run()
+        profile = profile_snapshot(profiler)
+        # The continuation's profile covers the tail of the run only:
+        # its activation count is the reference's post-pause delta,
+        # and the attribution still reconciles against its own wall.
+        tail = sum(cell[1] for cell in profiler.actors.values())
+        assert restored.simulator.activations == total_acts
+        assert tail == total_acts - acts_at_pause
+        assert 0.0 < actor_coverage(profile) <= 1.0 + 1e-6
+
+    def test_snapshot_of_profiled_machine_is_profile_free(self):
+        from repro.obs.profiling import Profiler
+
+        machine = build("fft", "cp_parity")
+        machine.install_profiler(Profiler())
+        machine.run(until=INTERVAL_NS)
+        image = machine.snapshot()
+        # Wall-clock attribution must never travel inside an image —
+        # images are content-addressed and must stay host-independent.
+        assert b"Profiler" not in pickle.dumps(image)
+        fresh = build("fft", "cp_parity")
+        fresh.restore(image)
+        assert fresh.profiler is None
+
+
 class TestRestoreValidation:
     def test_wrong_topology_is_rejected(self):
         from repro.machine.snapshot import SnapshotError

@@ -1,0 +1,247 @@
+"""Tests for repro.obs.telemetry: host-time attribution snapshots.
+
+Covers the profile snapshot shape and its invariants (self times
+partition the wall clock even when timers nest or re-enter), the
+deterministic cross-process merge, the derived coverage/fallout
+ratios, the ``prof.*`` trace narration (which must lint clean,
+including the attribution-sums-to-run check), the flamegraph and
+Prometheus expositions, and the checked-in broken fixture that proves
+the telemetry lint checks have teeth.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.obs import RingBufferSink, Tracer, lint_events, lint_file
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import Profiler
+from repro.obs.telemetry import (
+    PROFILE_SCHEMA,
+    actor_coverage,
+    fallout_share,
+    flamegraph_lines,
+    merge_profiles,
+    profile_snapshot,
+    prometheus_text,
+)
+from tests.conftest import ToyWorkload, build_tiny_machine
+
+
+def make_profile(run_wall=2.0, actor_secs=(0.9, 0.8),
+                 fallout_secs=(0.3,)) -> dict:
+    """A hand-built snapshot with known numbers for arithmetic tests."""
+    profiler = Profiler()
+    profiler.wall_seconds["machine.run"] = run_wall
+    profiler.self_seconds["machine.run"] = run_wall
+    profiler.calls["machine.run"] = 1
+    profiler.note_events(1000)
+    for actor_id, seconds in enumerate(actor_secs):
+        profiler.note_actor(actor_id, seconds, 100)
+        profiler.label_actor(actor_id, actor_id, "Processor")
+    for node, seconds in enumerate(fallout_secs):
+        cell = profiler.fallout_cell(node)
+        cell[0] += seconds
+        cell[1] += 10
+    return profile_snapshot(profiler)
+
+
+class TestProfiler:
+    def test_nested_timers_split_self_from_cumulative(self):
+        profiler = Profiler()
+        with profiler.timer("outer"):
+            time.sleep(0.01)
+            with profiler.timer("inner"):
+                time.sleep(0.01)
+        # Outer cumulative covers the inner timer; outer self does not.
+        assert profiler.wall_seconds["outer"] >= \
+            profiler.wall_seconds["inner"]
+        assert profiler.self_seconds["outer"] < \
+            profiler.wall_seconds["outer"]
+        assert profiler.self_seconds["inner"] == \
+            profiler.wall_seconds["inner"]
+        # Self times partition the profiled wall clock.
+        total_self = sum(profiler.self_seconds.values())
+        assert abs(total_self - profiler.wall_seconds["outer"]) < 5e-3
+
+    def test_reentrant_timer_does_not_double_count(self):
+        profiler = Profiler()
+        with profiler.timer("component"):
+            time.sleep(0.005)
+            with profiler.timer("component"):
+                time.sleep(0.005)
+        # Without machine.run, total_wall_seconds falls back to the
+        # sum of self times — which must equal the outer entry's wall
+        # clock, not twice the inner one.
+        outer_wall = profiler.wall_seconds["component"]
+        assert profiler.calls["component"] == 2
+        assert profiler.total_wall_seconds < outer_wall
+        assert profiler.total_wall_seconds >= outer_wall / 2
+
+    def test_actor_attribution_is_additive(self):
+        profiler = Profiler()
+        profiler.note_actor(3, 0.25, 10)
+        profiler.note_actor(3, 0.25, 15)
+        assert profiler.actors[3] == [0.5, 25]
+        assert profiler.actor_seconds == 0.5
+
+    def test_fallout_cell_is_shared_and_mutable(self):
+        profiler = Profiler()
+        cell = profiler.fallout_cell(0)
+        cell[0] += 0.1
+        cell[1] += 1
+        assert profiler.fallout_cell(0) is cell
+        assert profiler.fallout_seconds == 0.1
+
+
+class TestProfileSnapshot:
+    def test_shape_and_string_keys(self):
+        profile = make_profile()
+        assert profile["schema"] == PROFILE_SCHEMA
+        assert profile["total_wall_seconds"] == 2.0
+        assert profile["events"] == 1000
+        assert set(profile["actors"]) == {"0", "1"}
+        assert set(profile["fallout"]) == {"0"}
+        assert profile["actors"]["0"] == {
+            "node": 0, "kind": "Processor", "seconds": 0.9,
+            "activations": 100}
+        assert profile["components"][0][0] == "machine.run"
+
+    def test_survives_json_round_trip(self):
+        import json
+
+        profile = make_profile()
+        assert json.loads(json.dumps(profile)) == profile
+
+
+class TestMergeProfiles:
+    def test_merge_sums_and_counts_jobs(self):
+        merged = merge_profiles([make_profile(), make_profile()])
+        assert merged["jobs"] == 2
+        assert merged["total_wall_seconds"] == 4.0
+        assert merged["events"] == 2000
+        assert merged["actors"]["0"]["seconds"] == 1.8
+        assert merged["fallout"]["0"]["calls"] == 20
+
+    def test_merge_is_order_independent(self):
+        a = make_profile(run_wall=1.0, actor_secs=(0.5,))
+        b = make_profile(run_wall=3.0, actor_secs=(1.0, 1.5))
+        assert merge_profiles([a, b]) == merge_profiles([b, a])
+
+    def test_none_jobs_are_skipped(self):
+        merged = merge_profiles([None, make_profile(), None])
+        assert merged["jobs"] == 1
+
+    def test_all_none_returns_none(self):
+        assert merge_profiles([None, None]) is None
+        assert merge_profiles([]) is None
+
+
+class TestDerivedRatios:
+    def test_actor_coverage(self):
+        profile = make_profile(run_wall=2.0, actor_secs=(0.9, 0.8))
+        assert abs(actor_coverage(profile) - 1.7 / 2.0) < 1e-9
+
+    def test_fallout_share(self):
+        profile = make_profile(actor_secs=(0.9, 0.8),
+                               fallout_secs=(0.34,))
+        assert abs(fallout_share(profile) - 0.34 / 1.7) < 1e-9
+
+    def test_zero_profiles_return_zero(self):
+        empty = profile_snapshot(Profiler())
+        assert actor_coverage(empty) == 0.0
+        assert fallout_share(empty) == 0.0
+
+
+class TestProfEvents:
+    def emit(self, profile):
+        from repro.obs.telemetry import emit_profile_events
+
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        emit_profile_events(tracer, profile)
+        return list(sink.events())
+
+    def test_narration_lints_clean(self):
+        events = self.emit(make_profile())
+        names = [event["name"] for event in events]
+        assert names[0] == "prof.run"
+        assert names.count("prof.actor") == 2
+        assert names.count("prof.tier") == 1
+        assert lint_events(events) == []
+
+    def test_overattributed_profile_fails_lint(self):
+        profile = make_profile(run_wall=1.0, actor_secs=(0.8, 0.8))
+        problems = lint_events(self.emit(profile))
+        assert any("attribution exceeds the run" in p for p in problems)
+
+    def test_broken_telemetry_fixture_fails_lint(self):
+        # The checked-in fixture carries two hand-corrupted violations
+        # — actor seconds exceeding their prof.run wall clock, and a
+        # repeated heartbeat beat — and nothing else.  Lint must find
+        # exactly those two.
+        fixture = os.path.join(os.path.dirname(__file__), "fixtures",
+                               "broken_telemetry_trace.jsonl")
+        problems = lint_file(fixture)
+        assert len(problems) == 2
+        assert any("attribution exceeds the run" in p for p in problems)
+        assert any("beat 5 does not increase" in p for p in problems)
+
+
+class TestExpositions:
+    def test_flamegraph_splits_batch_from_fallout(self):
+        lines = flamegraph_lines(
+            make_profile(actor_secs=(1.0,), fallout_secs=(0.25,)))
+        stacks = dict(line.rsplit(" ", 1) for line in lines)
+        frame = "machine.run;actor0/Processor/node0"
+        assert stacks[f"{frame};batch"] == str(750_000)
+        assert stacks[f"{frame};protocol_fallout"] == str(250_000)
+
+    def test_prometheus_text_renders_registry_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("svc.requests.run").add(3)
+        registry.gauge("svc.workers").set(4)
+        registry.log_histogram("svc.execute_us").record(1000)
+        text = prometheus_text(registry.full_snapshot())
+        assert text.endswith("\n")
+        assert "# TYPE repro_svc_requests_run counter" in text
+        assert "repro_svc_requests_run 3" in text
+        assert "repro_svc_workers 4" in text
+        assert "# TYPE repro_svc_execute_us_count gauge" in text
+
+    def test_prometheus_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.counter("svc.cache-hits.2x").add()
+        text = prometheus_text(registry.full_snapshot())
+        assert "repro_svc_cache_hits_2x 1" in text
+
+
+class TestLiveAttribution:
+    def test_tiny_run_attributes_most_of_the_wall_clock(self):
+        machine = build_tiny_machine()
+        profiler = Profiler()
+        machine.install_profiler(profiler)
+        machine.attach_workload(ToyWorkload(rounds=2))
+        machine.run()
+        profile = profile_snapshot(profiler)
+        coverage = actor_coverage(profile)
+        # Attribution reconciles against the run loop: nearly all of
+        # machine.run's wall clock lands on actors, and never more
+        # than all of it (the lint invariant).
+        assert 0.5 < coverage <= 1.0 + 1e-6
+        assert profile["events"] > 0
+        assert all(info["kind"] == "Processor"
+                   for info in profile["actors"].values())
+        assert len(profile["actors"]) == 4
+
+    def test_profiled_run_matches_unprofiled_results(self):
+        plain = build_tiny_machine()
+        plain.attach_workload(ToyWorkload(rounds=2))
+        plain.run()
+        profiled = build_tiny_machine()
+        profiled.install_profiler(Profiler())
+        profiled.attach_workload(ToyWorkload(rounds=2))
+        profiled.run()
+        assert plain.total_mem_refs() == profiled.total_mem_refs()
+        assert plain.simulator.now == profiled.simulator.now

@@ -225,6 +225,67 @@ class TestLintSpans:
         assert "txn 1" in problems[0]
 
 
+class TestLintTelemetry:
+    """prof/stats stateful checks (docs/OBSERVABILITY.md)."""
+
+    def prof_pair(self, wall=1.0, actor_secs=(0.4, 0.5)):
+        events = [ev(0, "prof.run", wall_seconds=wall, activations=100)]
+        for actor, secs in enumerate(actor_secs):
+            events.append(ev(actor + 1, "prof.actor", actor=actor,
+                             node=actor, kind="Processor", seconds=secs,
+                             activations=50))
+        return events
+
+    def test_well_formed_prof_block_lints_clean(self):
+        assert lint_events(self.prof_pair()) == []
+
+    def test_actor_seconds_must_not_exceed_run_wall(self):
+        (problem,) = lint_events(self.prof_pair(wall=0.8))
+        assert "attribution exceeds the run" in problem
+        assert "0.900000" in problem and "0.800000" in problem
+
+    def test_actor_without_run_flagged(self):
+        (_run, actor, _rest) = self.prof_pair()
+        (problem,) = lint_events([dict(actor, seq=0)])
+        assert "prof.actor without a preceding prof.run" in problem
+
+    def test_negative_actor_seconds_flagged(self):
+        events = self.prof_pair(actor_secs=(-0.1,))
+        (problem,) = lint_events(events)
+        assert "not a non-negative number" in problem
+
+    def test_block_closes_at_next_run(self):
+        # Overattribution is charged to the block it happened in, even
+        # when another prof.run follows.
+        events = self.prof_pair(wall=0.5)
+        events.append(ev(len(events), "prof.run", wall_seconds=9.0,
+                         activations=1))
+        (problem,) = lint_events(events)
+        assert "wall_seconds 0.500000" in problem
+
+    def heartbeat(self, seq, beat):
+        return ev(seq, "stats.heartbeat", beat=beat, inflight=0,
+                  queue_depth=0, workers_busy=0, workers=2)
+
+    def test_monotonic_heartbeats_lint_clean(self):
+        events = [self.heartbeat(index, beat)
+                  for index, beat in enumerate((1, 2, 5))]
+        assert lint_events(events) == []
+
+    def test_repeated_heartbeat_beat_flagged(self):
+        events = [self.heartbeat(0, 3), self.heartbeat(1, 3)]
+        (problem,) = lint_events(events)
+        assert "heartbeat beat 3 does not increase" in problem
+
+    def test_non_integer_beat_flagged(self):
+        (problem,) = lint_events([self.heartbeat(0, "three")])
+        assert "is not an integer" in problem
+
+    def test_stats_snapshot_requires_metrics(self):
+        (problem,) = lint_events([ev(0, "stats.snapshot", beat=1)])
+        assert "stats.snapshot missing required fields" in problem
+
+
 class TestLintFile:
     def test_missing_file(self, tmp_path):
         (problem,) = lint_file(str(tmp_path / "nope.jsonl"))

@@ -28,15 +28,24 @@ Steps (documented in docs/OBSERVABILITY.md):
    times, counters, and memory contents must be bit-identical
    (docs/PERFORMANCE.md; the exhaustive oracle is
    ``tests/test_columnar.py``).
-7. Serve round-trip: start ``repro serve`` on a free port with a
+7. Profile attribution: ``repro profile lu`` on the tiny machine must
+   attribute at least half of ``machine.run``'s wall clock to actors
+   (the real gate is 95%; the smoke floor only catches a broken
+   attribution path) and its ``prof.*`` trace must pass
+   ``repro trace-lint`` (docs/OBSERVABILITY.md).
+8. Serve round-trip: start ``repro serve`` on a free port with a
    scratch cache, ``repro submit`` the same tiny run twice, and check
    the first reports a cache miss and the second a cache hit — the
    end-to-end path documented in docs/SERVING.md.
-8. Campaign round-trip: ``repro campaign`` twice against a scratch
-   store — the first run must capture the warm image (miss), the
-   second must fork from the cached image with identical outcomes,
-   and the campaign trace must pass ``repro trace-lint``
-   (docs/SNAPSHOTS.md).
+9. Serve telemetry: against a fresh server, ``repro stats`` must
+   stream a heartbeat and a metrics snapshot, and ``repro stats
+   --prometheus`` must scrape the same registry as Prometheus text
+   through ``GET /metrics`` on the service port (docs/SERVING.md).
+10. Campaign round-trip: ``repro campaign`` twice against a scratch
+    store — the first run must capture the warm image (miss), the
+    second must fork from the cached image with identical outcomes,
+    and the campaign trace must pass ``repro trace-lint``
+    (docs/SNAPSHOTS.md).
 
 Exits 0 when every executed step passes.
 """
@@ -165,22 +174,50 @@ def step_tier_matrix() -> None:
           f"{fingerprints['reference'][1]:,} refs)")
 
 
+def step_profile() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "profile.jsonl")
+        proc = run([sys.executable, "-m", "repro", "profile", "lu",
+                    "--nodes", "4", "--scale", "0.05",
+                    "--interval-us", "50", "--min-coverage", "0.5",
+                    "--trace", trace_path],
+                   capture_output=True, text=True, timeout=180)
+        if proc.returncode != 0 or "attribution:" not in proc.stdout:
+            raise SystemExit("repro profile failed (or attribution fell "
+                             "below the smoke floor):\n"
+                             f"{proc.stdout}\n{proc.stderr}")
+        lint = run([sys.executable, "-m", "repro", "trace-lint",
+                    trace_path], capture_output=True, text=True)
+        if lint.returncode != 0:
+            raise SystemExit("repro trace-lint failed on the profile "
+                             f"trace:\n{lint.stdout}\n{lint.stderr}")
+        attribution = next(line for line in proc.stdout.splitlines()
+                           if line.startswith("attribution:"))
+        print(f"  {attribution}; prof trace lint clean")
+
+
+def _spawn_server(cache_dir: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", "0", "--workers", "1", "--cache-dir", cache_dir],
+        cwd=REPO_ROOT, env=_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, start_new_session=True)
+
+
+def _server_port(server: subprocess.Popen) -> str:
+    banner = server.stdout.readline().strip()
+    # "serving on HOST:PORT (cache: ..., workers: N)"
+    if "serving on" not in banner:
+        raise SystemExit(f"repro serve printed no banner: {banner!r}")
+    return banner.split()[2].rsplit(":", 1)[1]
+
+
 def step_serve_round_trip() -> None:
     with tempfile.TemporaryDirectory() as tmp:
-        server = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve",
-             "--port", "0", "--workers", "1",
-             "--cache-dir", os.path.join(tmp, "cache")],
-            cwd=REPO_ROOT, env=_env(),
-            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
-            text=True, start_new_session=True)
+        server = _spawn_server(os.path.join(tmp, "cache"))
         try:
-            banner = server.stdout.readline().strip()
-            # "serving on HOST:PORT (cache: ..., workers: N)"
-            if "serving on" not in banner:
-                raise SystemExit(f"repro serve printed no banner: "
-                                 f"{banner!r}")
-            port = banner.split()[2].rsplit(":", 1)[1]
+            port = _server_port(server)
             submit = [sys.executable, "-m", "repro", "submit", "lu",
                       "--nodes", "4", "--scale", "0.05",
                       "--interval-us", "50", "--port", port]
@@ -197,6 +234,37 @@ def step_serve_round_trip() -> None:
                                  f"{second.stdout}\n{second.stderr}")
             print(f"  serve round-trip on port {port}: "
                   f"miss -> simulate -> hit")
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+
+def step_serve_telemetry() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        server = _spawn_server(os.path.join(tmp, "cache"))
+        try:
+            port = _server_port(server)
+            stats = [sys.executable, "-m", "repro", "stats",
+                     "--port", port]
+            first = run(stats, capture_output=True, text=True,
+                        timeout=60)
+            if first.returncode != 0 or "beat 1:" not in first.stdout:
+                raise SystemExit("repro stats streamed no heartbeat:\n"
+                                 f"{first.stdout}\n{first.stderr}")
+            prom = run(stats + ["--prometheus"], capture_output=True,
+                       text=True, timeout=60)
+            # The stats request above bumped its own request counter,
+            # so the scrape must expose it in Prometheus text form.
+            wanted = "# TYPE repro_svc_requests_stats counter"
+            if prom.returncode != 0 or wanted not in prom.stdout:
+                raise SystemExit("GET /metrics did not expose the "
+                                 "request counters:\n"
+                                 f"{prom.stdout}\n{prom.stderr}")
+            print(f"  serve telemetry on port {port}: heartbeat + "
+                  f"snapshot streamed, /metrics scrape clean")
         finally:
             server.terminate()
             try:
@@ -243,22 +311,26 @@ def step_campaign_round_trip() -> None:
 
 def main() -> int:
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
-    print("[1/7] repro --help")
+    print("[1/9] repro --help")
     step_cli_help()
-    print("[2/7] traced node-loss recovery (repro trace lu)")
+    print("[2/9] traced node-loss recovery (repro trace lu)")
     step_traced_run()
-    print("[3/7] ruff check")
+    print("[3/9] ruff check")
     if step_lint():
         print("  lint clean")
     else:
         print("  ruff not installed -- skipped (optional dev dependency)")
-    print("[4/7] perf smoke")
+    print("[4/9] perf smoke")
     step_perf_smoke()
-    print("[5/7] execution-tier matrix (reference/scalar/columnar)")
+    print("[5/9] execution-tier matrix (reference/scalar/columnar)")
     step_tier_matrix()
-    print("[6/7] repro serve round-trip (cache miss -> hit)")
+    print("[6/9] host-time attribution (repro profile lu)")
+    step_profile()
+    print("[7/9] repro serve round-trip (cache miss -> hit)")
     step_serve_round_trip()
-    print("[7/7] repro campaign round-trip (capture -> fork)")
+    print("[8/9] repro serve telemetry (stats + GET /metrics)")
+    step_serve_telemetry()
+    print("[9/9] repro campaign round-trip (capture -> fork)")
     step_campaign_round_trip()
     print("smoke: OK")
     return 0
