@@ -18,6 +18,8 @@ Exposes the common workflows without writing Python::
     python -m repro submit lu --nodes 4       # stream a request to it
     python -m repro profile lu --nodes 4      # per-actor host-time profile
     python -m repro stats                     # live telemetry from serve
+    python -m repro diff a.json b.json        # first divergent window
+    python -m repro diff a.json b.json --bisect   # ... down to the event
 
 All commands accept ``--scale`` (run length multiplier),
 ``--interval-us`` (checkpoint interval), and ``--nodes`` (shrink to a
@@ -96,6 +98,11 @@ def make_parser() -> argparse.ArgumentParser:
     _common(run_p)
     _observability(run_p)
     run_p.add_argument("--variant", choices=VARIANTS, default="cp_parity")
+    run_p.add_argument("--digest", metavar="PATH", default=None,
+                       help="record the determinism digest chain (one "
+                            "window per checkpoint boundary) and write "
+                            "the run's spec + chain there — the input "
+                            "of 'repro diff' (docs/OBSERVABILITY.md)")
 
     cmp_p = sub.add_parser("compare",
                            help="run all five variants and report overheads")
@@ -136,6 +143,12 @@ def make_parser() -> argparse.ArgumentParser:
     swp_p.add_argument("--trace-categories", metavar="CATS", default=None,
                        help="comma-separated category filter for "
                             "--trace-dir traces")
+    swp_p.add_argument("--digest", action="store_true",
+                       help="record every job's determinism digest "
+                            "chain; with --trace-dir the merged chains "
+                            "land in sweep.digest.json beside the "
+                            "ledger (serial and parallel sweeps write "
+                            "identical files)")
     _cache_flags(swp_p)
 
     cam_p = sub.add_parser(
@@ -337,6 +350,28 @@ def make_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--spans-only", action="store_true",
                        help="export span slices only (skip the 'i' "
                             "instant markers for point events)")
+
+    dif_p = sub.add_parser(
+        "diff",
+        help="compare two runs' digest chains (from 'repro run "
+             "--digest'): name the first divergent checkpoint window "
+             "and component, and with --bisect replay the divergent "
+             "window from the last-agreeing state to pin the first "
+             "divergent event; exit 1 when the runs diverge")
+    dif_p.add_argument("run_a", metavar="A.json",
+                       help="first run's digest file")
+    dif_p.add_argument("run_b", metavar="B.json",
+                       help="second run's digest file")
+    dif_p.add_argument("--bisect", action="store_true",
+                       help="re-simulate to the last-agreeing commit, "
+                            "fork both specs from that image, and "
+                            "replay with per-event digesting down to "
+                            "the first divergent event")
+    dif_p.add_argument("--image", metavar="PATH", default=None,
+                       help="with --bisect: pickle run A's machine "
+                            "image at the divergence frontier (the "
+                            "last agreeing state) there for offline "
+                            "inspection")
     return parser
 
 
@@ -489,7 +524,7 @@ def cmd_run(args) -> int:
     result = run_app(args.app, args.variant, scale=args.scale,
                      interval_ns=interval, machine_config=machine_config,
                      n_procs=n_procs, tracer=tracer, profiler=profiler,
-                     **overrides)
+                     digest=bool(args.digest), **overrides)
     rows = [
         ["execution time (us)", f"{result.execution_time_ns / 1e3:.1f}"],
         ["references", result.total_refs],
@@ -506,6 +541,22 @@ def cmd_run(args) -> int:
     if result.profile is not None:
         print()
         print(profile_table(result.profile))
+    if args.digest:
+        import os
+
+        from repro.obs.diff import write_run_digest
+
+        # The spec mirrors this command's arguments so 'repro diff
+        # --bisect' can rebuild the exact run later.  The test-only
+        # perturbation rides along: a replay must reproduce it.
+        spec = {"app": args.app, "variant": args.variant,
+                "scale": args.scale, "nodes": args.nodes,
+                "interval_us": args.interval_us,
+                "perturb_store": (int(os.environ.get(
+                    "REPRO_PERTURB_STORE", "0")) or None)}
+        write_run_digest(args.digest, spec, result.digest)
+        print(f"\ndigest: {len(result.digest['windows'])} windows -> "
+              f"{args.digest}")
     if tracer is not None:
         tracer.close()
         if args.trace:
@@ -571,7 +622,14 @@ def cmd_sweep(args) -> int:
         interval_ns=int(args.interval_us * 1000),
         machine_config=machine_config, trace_dir=args.trace_dir,
         trace_categories=trace_categories, cache_dir=cache_dir,
-        **_tiny_revive_overrides(args))
+        digest=args.digest, **_tiny_revive_overrides(args))
+    if args.digest and sweep.digest is not None:
+        digested = sum(1 for job in sweep.digest["jobs"]
+                       if job["digest"] is not None)
+        print(f"digest: {digested}/{len(sweep.digest['jobs'])} job "
+              f"chains recorded"
+              + (f" -> {args.trace_dir}/sweep.digest.json"
+                 if args.trace_dir else ""))
     if cache_dir is not None:
         print(f"cache: {sweep.cache_hits} hits, {sweep.cache_misses} "
               f"misses ({cache_dir})")
@@ -1064,6 +1122,57 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_diff(args) -> int:
+    """``repro diff``: where did two runs stop being the same run?
+
+    Compares the digest chains of two ``repro run --digest`` files.
+    Identical chains exit 0; otherwise the first divergent checkpoint
+    window and component are named and the exit status is 1.
+    ``--bisect`` then re-simulates run A to the last-agreeing commit,
+    forks both specs from that shared image, and replays the divergent
+    window with per-event digesting until the first event whose
+    machine digest differs — the determinism-observatory workflow
+    documented in docs/OBSERVABILITY.md.
+    """
+    from repro.obs.diff import (
+        bisect_divergence,
+        diff_run_digests,
+        read_run_digest,
+    )
+
+    try:
+        doc_a = read_run_digest(args.run_a)
+        doc_b = read_run_digest(args.run_b)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"cannot read digest file: {exc}")
+    divergence = diff_run_digests(doc_a, doc_b)
+    windows_a = doc_a["chain"]["windows"]
+    if divergence is None:
+        tip = windows_a[-1]["machine"] if windows_a else "genesis"
+        print(f"identical: {len(windows_a)} windows, tip {tip[:12]}")
+        return 0
+    component = divergence["component"] or "(chain length)"
+    print(f"divergent: first at window {divergence['window']} "
+          f"(epoch {divergence['epoch']}), component {component}")
+    print(f"  A: {(divergence['a'] or '—')[:16]}  "
+          f"B: {(divergence['b'] or '—')[:16]}")
+    if args.bisect:
+        report = bisect_divergence(doc_a, doc_b, divergence,
+                                   image_path=args.image)
+        event = report["event"]
+        if event is None:
+            print(f"bisect: {report.get('note', 'event not localised')}")
+        else:
+            lo, hi = event["store_range"]
+            print(f"bisect: first divergent event {event['index']} at "
+                  f"t={event['now']}ns, component "
+                  f"{event['component'] or '(event count)'}, "
+                  f"stores ({lo}, {hi}]")
+            if report["image"]:
+                print(f"frontier image: {report['image']}")
+    return 1
+
+
 def cmd_stats(args) -> int:
     """``repro stats``: live telemetry from a running service."""
     import json as json_mod
@@ -1311,6 +1420,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_profile(args)
     if args.command == "stats":
         return cmd_stats(args)
+    if args.command == "diff":
+        return cmd_diff(args)
     assert args.command == "recover"
     return cmd_recover(args)
 

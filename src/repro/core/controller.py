@@ -254,6 +254,15 @@ class ReViveController:
         return {"logs": {n: log.snapshot() for n, log in self.logs.items()},
                 "meta_pending": dict(self._meta_pending)}
 
+    def digest_state(self) -> dict:
+        """Determinism-observatory hook (obs/digest.py).
+
+        The controller's own fingerprint excludes the per-node logs,
+        which ``machine/digest.py`` digests individually as
+        ``node<i>.log`` components so a log divergence names its node.
+        """
+        return {"meta_pending": dict(self._meta_pending)}
+
     def restore(self, state: dict) -> None:
         """Reinstate a :meth:`snapshot` (docs/SNAPSHOTS.md)."""
         for n, log_state in state["logs"].items():

@@ -162,6 +162,11 @@ def bind_columnar(proc):
             machine.profiler.fallout_cell(proc.node_id))
     write_value = hierarchy.write_value
     next_store = machine.next_store_value
+    # Inlined store bumps must honor the test-only perturbation too
+    # (see Processor._bind_fastpath) — tier invariance holds under
+    # REPRO_PERTURB_STORE exactly because every tier flips the same
+    # counter.
+    perturb_store = machine.perturb_store
     l1_hit_ns = config.l1_hit_ns
     l2_hit_ns = config.l2_hit_ns
     quantum = config.batch_quantum_ns
@@ -614,12 +619,16 @@ def bind_columnar(proc):
                             silent += 1
                         ln.state = MOD
                         sc += 1
-                        ln.value = sc
+                        ln.value = (sc if sc != perturb_store
+                                    else sc + (1 << 32))
                 else:
                     # Last write per line: k-th write in the segment
                     # carries value counter+k.  The first occurrence
                     # in the reversed stream is the last write; its
-                    # 1-based ordinal is nw - reversed_index.
+                    # 1-based ordinal is nw - reversed_index.  A
+                    # perturbed non-last write is overwritten in the
+                    # scalar tiers too, so flipping only the surviving
+                    # value keeps the tiers identical.
                     duw, didxw = np.unique(w_wiv[i:j][::-1],
                                            return_index=True)
                     kth = nw - didxw
@@ -628,7 +637,9 @@ def bind_columnar(proc):
                         if ln.state == EXC:
                             silent += 1
                         ln.state = MOD
-                        ln.value = sc + k
+                        value = sc + k
+                        ln.value = (value if value != perturb_store
+                                    else value + (1 << 32))
                     sc += nw
                 machine._store_counter = sc
 
@@ -771,7 +782,8 @@ def bind_columnar(proc):
                             line.state = MOD
                             sc = machine._store_counter + 1
                             machine._store_counter = sc
-                            line.value = sc
+                            line.value = (sc if sc != perturb_store
+                                          else sc + (1 << 32))
                             t += l1_hit_ns if l1_hit else l2_hit_ns
                     else:
                         t += l1_hit_ns if l1_hit else l2_hit_ns

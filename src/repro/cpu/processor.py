@@ -307,6 +307,10 @@ class Processor:
                 machine.profiler.fallout_cell(self.node_id))
         write_value = hierarchy.write_value
         next_store = machine.next_store_value
+        # The inlined store-counter bumps below must honor the
+        # test-only perturbation exactly like next_store_value does,
+        # or the three tiers would disagree under REPRO_PERTURB_STORE.
+        perturb_store = machine.perturb_store
         l1_hit_ns = config.l1_hit_ns
         l2_hit_ns = config.l2_hit_ns
         quantum = config.batch_quantum_ns
@@ -425,7 +429,8 @@ class Processor:
                             line.state = MOD
                             sc = machine._store_counter + 1
                             machine._store_counter = sc
-                            line.value = sc
+                            line.value = (sc if sc != perturb_store
+                                          else sc + (1 << 32))
                             t += l1_hit_ns if l1_hit else l2_hit_ns
                     else:
                         t += l1_hit_ns if l1_hit else l2_hit_ns

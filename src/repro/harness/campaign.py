@@ -75,12 +75,16 @@ def campaign_scenarios(
 
 
 def warm_machine(app: str, variant: str, run_kwargs: Dict,
-                 warm_checkpoints: int):
+                 warm_checkpoints: int, digest: bool = False):
     """Build and run one machine to ``warm_checkpoints`` commits.
 
     The fig12 warm-up loop: step the horizon one interval at a time so
     the run pauses as soon as the target commit lands.  Raises when
     the workload finishes first — the campaign needs a live machine.
+    ``digest=True`` installs a determinism-observatory recorder before
+    the first event, so the warm-up's digest chain (window 0 plus one
+    window per commit) rides inside the captured image and forked
+    scenarios resume it (docs/OBSERVABILITY.md).
     """
     kwargs = dict(run_kwargs)
     interval_ns = kwargs.pop("interval_ns", DEFAULT_INTERVAL_NS)
@@ -92,6 +96,11 @@ def warm_machine(app: str, variant: str, run_kwargs: Dict,
         raise ValueError(f"variant {variant!r} takes no checkpoints; "
                          f"campaigns need a checkpointing variant")
     machine.attach_workload(get_workload(app, scale=scale, n_procs=n_procs))
+    if digest:
+        from repro.obs.digest import DigestRecorder
+
+        machine.install_digests(DigestRecorder())
+        machine.record_digest(ts=0)
     horizon = (warm_checkpoints + 1) * interval_ns
     while machine.checkpointing.checkpoints_committed < warm_checkpoints:
         if machine.all_finished:
@@ -119,7 +128,7 @@ def _init_worker(ctx: Dict) -> None:
 
 
 def _run_scenario(payload: Tuple[int, Dict]
-                  ) -> Tuple[int, Dict, Optional[Dict]]:
+                  ) -> Tuple[int, Dict, Optional[Dict], Optional[Dict]]:
     """Worker body: one fault scenario; module-level so it pickles.
 
     Forked mode restores the warm image into a fresh machine; cold
@@ -128,23 +137,31 @@ def _run_scenario(payload: Tuple[int, Dict]
     the outcomes are identical (the snapshot oracle guarantees it),
     only the wall-clock differs.
 
-    Returns ``(index, outcome, profile)``.  The host-time profile (or
-    None when profiling is off) rides *next to* the outcome, never
-    inside it: outcomes must stay equal between cold and forked runs,
-    and wall-clock attribution obviously is not.  Profiling starts
-    after the warm-up / restore, so cold and forked scenarios profile
-    the same work (detection window + recovery).
+    Returns ``(index, outcome, profile, digest)``.  The host-time
+    profile (or None when profiling is off) rides *next to* the
+    outcome, never inside it: outcomes must stay equal between cold
+    and forked runs, and wall-clock attribution obviously is not.
+    Profiling starts after the warm-up / restore, so cold and forked
+    scenarios profile the same work (detection window + recovery).
+
+    The digest chain (or None when digesting is off) also rides next
+    to the outcome — but unlike the profile it *is* deterministic:
+    forked scenarios resume the chain carried inside the warm image,
+    cold scenarios recompute it from scratch, and the two must be
+    identical window for window.  ``run_campaign(digest=True)``
+    reconciles exactly that.
     """
     index, scenario = payload
     ctx = _CTX
     app, variant = ctx["app"], ctx["variant"]
     run_kwargs = ctx["run_kwargs"]
     warm = ctx["warm_checkpoints"]
+    digest = bool(ctx.get("digest"))
     image = ctx["images"][scenario["hybrid_fraction"]]
     if image is None:  # cold mode: pay the warm-up per scenario
         machine = warm_machine(app, variant,
                                _hybrid_kwargs(run_kwargs, scenario),
-                               warm)
+                               warm, digest=digest)
     else:
         kwargs = dict(_hybrid_kwargs(run_kwargs, scenario))
         interval_ns = kwargs.pop("interval_ns", DEFAULT_INTERVAL_NS)
@@ -155,6 +172,12 @@ def _run_scenario(payload: Tuple[int, Dict]
                                 **kwargs)
         machine.attach_workload(
             get_workload(app, scale=scale, n_procs=n_procs))
+        if digest:
+            from repro.obs.digest import DigestRecorder
+
+            # Installed before restore so the warm-up chain carried
+            # inside the image resumes (machine/snapshot.py).
+            machine.install_digests(DigestRecorder())
         machine.restore(pickle.loads(image))
 
     profiler = None
@@ -193,7 +216,14 @@ def _run_scenario(payload: Tuple[int, Dict]
         from repro.obs.telemetry import profile_snapshot
 
         snapshot = profile_snapshot(profiler)
-    return index, outcome, snapshot
+    chain = None
+    if digest and machine.digests is not None:
+        # One closing on-demand window fingerprints the recovered
+        # state, so the chain covers the scenario end-to-end: warm-up
+        # windows + the post-recovery state.
+        machine.record_digest()
+        chain = machine.digests.chain.to_jsonable()
+    return index, outcome, snapshot, chain
 
 
 def _hybrid_kwargs(run_kwargs: Dict, scenario: Dict) -> Dict:
@@ -233,6 +263,11 @@ class CampaignResult:
     #: or None.  Kept beside the outcomes, never inside them: the
     #: cold-vs-forked equality contract covers outcomes only.
     profile: Optional[Dict] = None
+    #: Per-scenario determinism digest chains (``digest=True``), in
+    #: scenario order, or None.  Deterministic — forked chains resume
+    #: the warm image's windows, cold chains recompute them, and the
+    #: two are identical (``tests/test_digest.py`` pins it).
+    digests: Optional[List[Dict]] = None
 
     @property
     def image_bytes(self) -> int:
@@ -251,6 +286,7 @@ class CampaignResult:
             "images": self.images,
             "outcomes": self.outcomes,
             "profile": self.profile,
+            "digests": self.digests,
         }
 
 
@@ -263,12 +299,16 @@ def _emit(tracer: Optional[Tracer], name: str, **fields) -> None:
 def _warm_image(app: str, variant: str, run_kwargs: Dict,
                 warm_checkpoints: int, cache,
                 tracer: Optional[Tracer],
-                hybrid: Optional[float]) -> Tuple[bytes, Dict]:
+                hybrid: Optional[float],
+                digest: bool = False) -> Tuple[bytes, Dict]:
     """The pickled warm image of one configuration, store-backed.
 
     A store hit skips the warm-up and emits ``snap.restore``; a miss
     warms a machine, captures it, stores the image (when a store is
-    in use), and emits ``snap.capture``.
+    in use), and emits ``snap.capture``.  A digesting campaign needs
+    the warm-up chain *inside* the image; a hit stored by an
+    undigested campaign lacks it, so the image is re-warmed (and the
+    entry upgraded) rather than served.
     """
     from repro.harness import store as result_store
 
@@ -280,12 +320,16 @@ def _warm_image(app: str, variant: str, run_kwargs: Dict,
                 and entry.has_artifact(result_store.SNAPSHOT_ARTIFACT)):
             start = time.perf_counter()
             image = entry.read_artifact(result_store.SNAPSHOT_ARTIFACT)
-            _emit(tracer, "snap.restore", key=key, bytes=len(image),
-                  dur_ms=int((time.perf_counter() - start) * 1000))
-            return image, {"hybrid_fraction": hybrid, "key": key,
-                           "bytes": len(image), "cached": True}
+            if digest and pickle.loads(image).get("digest") is None:
+                image = None  # undigested image: re-warm and upgrade
+            if image is not None:
+                _emit(tracer, "snap.restore", key=key, bytes=len(image),
+                      dur_ms=int((time.perf_counter() - start) * 1000))
+                return image, {"hybrid_fraction": hybrid, "key": key,
+                               "bytes": len(image), "cached": True}
     start = time.perf_counter()
-    machine = warm_machine(app, variant, run_kwargs, warm_checkpoints)
+    machine = warm_machine(app, variant, run_kwargs, warm_checkpoints,
+                           digest=digest)
     image = pickle.dumps(machine.snapshot(),
                          protocol=pickle.HIGHEST_PROTOCOL)
     _emit(tracer, "snap.capture", key=key, bytes=len(image),
@@ -317,6 +361,7 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
                  cold: bool = False,
                  tracer: Optional[Tracer] = None,
                  profile: bool = False,
+                 digest: bool = False,
                  **revive_overrides) -> CampaignResult:
     """Run a fault campaign: one warm-up, many forked recoveries.
 
@@ -339,6 +384,14 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
     same work) and merges the per-scenario snapshots into
     ``result.profile`` in scenario order.  Outcomes are unaffected —
     wall-clock attribution never enters an outcome dict.
+
+    ``digest=True`` records the determinism-observatory chain in every
+    scenario: forked scenarios resume the chain carried inside the warm
+    image, cold scenarios recompute it from scratch, and both close
+    with one on-demand window fingerprinting the recovered state.  The
+    per-scenario chains land in ``result.digests`` in scenario order —
+    forked and cold campaigns over the same grid must produce
+    identical lists (the snapshot oracle, made checkable).
     """
     if warm_checkpoints < 1:
         raise ValueError("warm_checkpoints must be >= 1")
@@ -365,7 +418,7 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
                                     {"hybrid_fraction": hybrid})
             image, meta = _warm_image(app, variant, kwargs,
                                       warm_checkpoints, cache, tracer,
-                                      hybrid)
+                                      hybrid, digest=digest)
             images[hybrid] = image
             image_meta.append(meta)
         fork_key = image_meta[0]["key"] if image_meta else ""
@@ -376,10 +429,11 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
 
     ctx = {"app": app, "variant": variant, "run_kwargs": run_kwargs,
            "warm_checkpoints": warm_checkpoints, "images": images,
-           "profile": profile}
+           "profile": profile, "digest": digest}
     todo = list(enumerate(scenarios))
     indexed: Dict[int, Dict] = {}
     profiles: Dict[int, Optional[Dict]] = {}
+    digests: Dict[int, Optional[Dict]] = {}
 
     from repro.harness.parallel import default_workers
 
@@ -395,10 +449,11 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
 
             with mp.Pool(processes=n_workers, initializer=_init_worker,
                          initargs=(ctx,)) as pool:
-                for index, outcome, snapshot in pool.imap_unordered(
+                for index, outcome, snapshot, chain in pool.imap_unordered(
                         _run_scenario, todo):
                     indexed[index] = outcome
                     profiles[index] = snapshot
+                    digests[index] = chain
             ran_parallel = True
         except (OSError, ImportError, PermissionError) as exc:
             warnings.warn(
@@ -407,11 +462,13 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
                 stacklevel=2)
             indexed.clear()
             profiles.clear()
+            digests.clear()
     if not ran_parallel:
         _init_worker(ctx)
-        for index, outcome, snapshot in map(_run_scenario, todo):
+        for index, outcome, snapshot, chain in map(_run_scenario, todo):
             indexed[index] = outcome
             profiles[index] = snapshot
+            digests[index] = chain
         n_workers = 1
 
     outcomes = [indexed[index] for index in range(len(scenarios))]
@@ -423,10 +480,15 @@ def run_campaign(app: str = "fft", variant: str = "cp_parity",
         # must be deterministic for a given campaign grid.
         merged_profile = merge_profiles(
             profiles[index] for index in range(len(scenarios)))
+    # Scenario order for the same reason: forked and cold campaigns
+    # over the same grid must produce comparable digest lists.
+    merged_digests = ([digests[index] for index in range(len(scenarios))]
+                      if digest else None)
     return CampaignResult(app=app, variant=variant,
                           warm_checkpoints=warm_checkpoints,
                           interval_ns=interval_ns, outcomes=outcomes,
                           images=image_meta,
                           wall_seconds=time.perf_counter() - start,
                           workers=n_workers, parallel=ran_parallel,
-                          cold=cold, profile=merged_profile)
+                          cold=cold, profile=merged_profile,
+                          digests=merged_digests)

@@ -111,6 +111,7 @@ def _execute(payload: Tuple[int, Tuple[str, str, Dict]]
     index, (app, variant, kwargs) = payload
     kwargs = dict(kwargs)
     trace_spec = kwargs.pop("_trace", None)
+    digest = kwargs.pop("_digest", False)
     profiler = None
     if kwargs.pop("_profile", False):
         from repro.obs.profiling import Profiler
@@ -118,7 +119,7 @@ def _execute(payload: Tuple[int, Tuple[str, str, Dict]]
         profiler = Profiler()
     if trace_spec is None:
         return index, run_app(app, variant, profiler=profiler,
-                              **kwargs), None
+                              digest=digest, **kwargs), None
 
     from repro.obs.monitor import MonitorSuite, RunLedger, default_monitors
     from repro.obs.tracer import JsonlFileSink, Tracer
@@ -133,7 +134,7 @@ def _execute(payload: Tuple[int, Tuple[str, str, Dict]]
         sink=JsonlFileSink(trace_spec["path"]))
     tracer = Tracer(suite, categories=trace_spec.get("categories"))
     result = run_app(app, variant, tracer=tracer, profiler=profiler,
-                     **kwargs)
+                     digest=digest, **kwargs)
     tracer.close()
 
     spec = SPLASH2_SPECS.get(app)
@@ -172,6 +173,10 @@ class SweepResult:
     #: Merged host-time attribution across all simulated jobs
     #: (profiled sweeps only; see repro.obs.telemetry.merge_profiles).
     profile: Optional[Dict] = None
+    #: Per-job determinism digest chains in job order (digested sweeps
+    #: only; the repro.obs.digest.merge_sweep_digests shape, identical
+    #: for serial and parallel executions of the same sweep).
+    digest: Optional[Dict] = None
 
     def get(self, app: str, variant: str) -> RunResult:
         """The result of one sweep cell."""
@@ -230,6 +235,7 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
               cache_dir: Optional[str] = None,
               cache_max_bytes: Optional[int] = None,
               profile: bool = False,
+              digest: bool = False,
               **revive_overrides) -> SweepResult:
     """Run an app × variant sweep, fanning out over worker processes.
 
@@ -258,6 +264,19 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
     deterministic merge of them lands in ``SweepResult.profile`` (and
     ``sweep.profile.json`` for traced sweeps).  Cache hits skipped the
     simulation, so they contribute no host time.
+
+    ``digest=True`` records every job's determinism digest chain
+    (docs/OBSERVABILITY.md, "Determinism observatory"): per-job chains
+    ride back in ``RunResult.digest`` and the job-ordered merge lands
+    in ``SweepResult.digest`` (and ``sweep.digest.json`` for traced
+    sweeps).  Chains are pure functions of deterministic simulation
+    state, so the merged document is identical for serial and parallel
+    executions — the property the CI determinism gate compares.  Like
+    ``profile``, the flag is injected after cache keys are computed:
+    digesting is an observation, never configuration.  A digested
+    sweep served from entries stored by an undigested sweep reports
+    ``None`` chains for those cells (use a fresh ``cache_dir`` — or
+    none — when comparing chains).
     """
     if chunksize < 1:
         raise ValueError("chunksize must be >= 1")
@@ -297,6 +316,12 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
         # change a job's digest.
         for _app, _variant, kwargs in jobs:
             kwargs["_profile"] = True
+    if digest:
+        # Same contract as _profile: an observation, not configuration
+        # — injected after cache keys so a digested sweep hits the same
+        # store entries as an undigested one.
+        for _app, _variant, kwargs in jobs:
+            kwargs["_digest"] = True
 
     start = time.perf_counter()
     indexed: Dict[int, Tuple[RunResult, Optional[Dict]]] = {}
@@ -400,10 +425,24 @@ def run_sweep(apps: Optional[Sequence[str]] = None,
                 json.dump(merged_profile, handle, sort_keys=True,
                           indent=2)
                 handle.write("\n")
+    merged_digest = None
+    if digest:
+        from repro.obs.digest import merge_sweep_digests, write_digest_file
+
+        merged_digest = merge_sweep_digests(
+            [f"{app}__{variant}" for app, variant in job_order],
+            [indexed[index][0].digest for index in range(len(jobs))])
+        if trace_dir is not None:
+            # A side channel beside sweep.ledger.json, like
+            # sweep.profile.json — but deterministic: serial and
+            # parallel sweeps of the same jobs write identical bytes.
+            write_digest_file(os.path.join(trace_dir, "sweep.digest.json"),
+                              merged_digest)
     return SweepResult(results=results, workers=n_workers,
                        wall_seconds=time.perf_counter() - start,
                        parallel=ran_parallel, job_order=job_order,
                        ledgers=ledgers, trace_dir=trace_dir,
                        cache_hits=hits,
                        cache_misses=len(todo) if cache is not None else 0,
-                       cache_dir=cache_dir, profile=merged_profile)
+                       cache_dir=cache_dir, profile=merged_profile,
+                       digest=merged_digest)

@@ -77,6 +77,14 @@ COLUMNAR_MIN_SPEEDUP = 1.02
 #: (docs/OBSERVABILITY.md) an enforced property, not a slogan.
 OBS_OVERHEAD_MAX = 0.02
 
+#: Hard ceiling on the *enabled* determinism-digest tax: a cp_parity
+#: run digesting every checkpoint boundary (docs/OBSERVABILITY.md,
+#: "Determinism observatory") must run within this fraction of the
+#: same run without digesting.  Checkpoint boundaries are sparse
+#: relative to memory references, so the per-window sha256 over every
+#: component's snapshot state has to stay in the noise.
+DIGEST_OVERHEAD_MAX = 0.05
+
 REPORT_SCHEMA = 1
 
 
@@ -324,6 +332,90 @@ def measure_obs_overhead(rounds: int = 3,
     }
 
 
+def measure_digest_overhead(rounds: int = 3,
+                            scale: float = 0.25) -> Dict[str, float]:
+    """Wall-clock tax of checkpoint-boundary determinism digesting.
+
+    Runs the cp_parity exhibit at a 50 us checkpoint interval — short
+    enough that the bench run commits several checkpoints, so every
+    commit rolls a digest window — with the digest recorder installed
+    (the exact wiring of ``run_app(digest=True)``) and every
+    ``record_digest`` call timed.  The gated ``overhead_fraction`` is
+    the attributed fraction: seconds spent digesting over the total
+    wall clock of the *same* runs.  Numerator and denominator come
+    from one run, so the fraction is robust to the host's run-to-run
+    wall-clock drift — an A/B comparison would need the true ~4%
+    signal to beat >10% scheduler noise.  Plain runs are still
+    measured (alternating, best-of-rounds) so the report carries the
+    refs/sec context, and the gate in :func:`hard_failures` enforces
+    ``overhead_fraction <= DIGEST_OVERHEAD_MAX``.
+    """
+    from repro.obs.digest import DigestRecorder
+
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+
+    def run_plain() -> Dict[str, float]:
+        machine = build_machine("cp_parity",
+                                machine_config=MachineConfig.bench(),
+                                interval_ns=50_000)
+        machine.attach_workload(get_workload("lu", scale=scale))
+        start = time.perf_counter()
+        machine.run()
+        return {"refs": machine.total_mem_refs(),
+                "wall_seconds": time.perf_counter() - start}
+
+    def run_digested() -> Dict[str, float]:
+        machine = build_machine("cp_parity",
+                                machine_config=MachineConfig.bench(),
+                                interval_ns=50_000)
+        machine.attach_workload(get_workload("lu", scale=scale))
+        machine.install_digests(DigestRecorder(None))
+        cost = [0.0]
+        inner = machine.record_digest
+
+        def timed_record(ts=None):
+            begin = time.perf_counter()
+            try:
+                return inner(ts)
+            finally:
+                cost[0] += time.perf_counter() - begin
+
+        machine.record_digest = timed_record
+        start = time.perf_counter()
+        machine.record_digest(0)  # window 0, inside the timed region
+        machine.run()
+        return {"refs": machine.total_mem_refs(),
+                "wall_seconds": time.perf_counter() - start,
+                "digest_seconds": cost[0],
+                "windows": len(machine.digests.chain)}
+
+    plain, digested = [], []
+    for _ in range(rounds):
+        plain.append(run_plain())
+        digested.append(run_digested())
+    refs = plain[0]["refs"]
+    base = min(run["wall_seconds"] for run in plain)
+    on = min(run["wall_seconds"] for run in digested)
+    total_wall = sum(run["wall_seconds"] for run in digested)
+    total_cost = sum(run["digest_seconds"] for run in digested)
+    return {
+        "rounds": rounds,
+        "scale": scale,
+        "refs": refs,
+        "windows": digested[0]["windows"],
+        "plain_wall_seconds_best": base,
+        "digest_wall_seconds_best": on,
+        "plain_refs_per_sec": refs / base if base else 0.0,
+        "digest_refs_per_sec": refs / on if on else 0.0,
+        "digest_seconds_per_window": (
+            total_cost / sum(run["windows"] for run in digested)),
+        "overhead_fraction": total_cost / total_wall if total_wall
+        else 0.0,
+        "max_overhead": DIGEST_OVERHEAD_MAX,
+    }
+
+
 def throughput_report(rounds: int = 3, scale: float = 0.25,
                       sweep_workers: int = 4,
                       include_sweep: bool = True,
@@ -331,7 +423,8 @@ def throughput_report(rounds: int = 3, scale: float = 0.25,
                       include_cache: bool = True,
                       include_campaign: bool = True,
                       include_columnar: bool = True,
-                      include_obs: bool = True) -> Dict:
+                      include_obs: bool = True,
+                      include_digest: bool = True) -> Dict:
     """The full ``BENCH_throughput.json`` payload."""
     exhibits = {variant: measure_exhibit(variant, scale=scale,
                                          rounds=rounds)
@@ -356,6 +449,13 @@ def throughput_report(rounds: int = 3, scale: float = 0.25,
                      if include_columnar else None),
         "obs": (measure_obs_overhead(rounds=rounds, scale=scale)
                 if include_obs else None),
+        # The digest gate always measures its representative exhibit:
+        # per-window cost hashes machine-sized state and barely moves
+        # with scale, while the wall clock shrinks with it, so a
+        # quick-mode scale would inflate the fraction being gated.
+        "digest": (measure_digest_overhead(rounds=rounds,
+                                           scale=max(scale, 0.25))
+                   if include_digest else None),
     }
     report["regressions"] = soft_regressions(report)
     return report
@@ -426,6 +526,13 @@ def hard_failures(report: Dict) -> List[str]:
             f"{obs['overhead_fraction']:.1%} of the no-hooks wall clock "
             f"(> {OBS_OVERHEAD_MAX:.0%} ceiling) — the off path is no "
             f"longer free")
+    digest = report.get("digest")
+    if digest and digest["overhead_fraction"] > DIGEST_OVERHEAD_MAX:
+        failures.append(
+            f"digest: checkpoint-boundary digesting cost "
+            f"{digest['overhead_fraction']:.1%} of the undigested wall "
+            f"clock (> {DIGEST_OVERHEAD_MAX:.0%} ceiling) over "
+            f"{digest['windows']} windows")
     return failures
 
 
@@ -482,6 +589,14 @@ def format_report(report: Dict) -> str:
             f"({obs['obs_off_refs_per_sec']:,.0f} vs "
             f"{obs['no_hooks_refs_per_sec']:,.0f} refs/s, ceiling "
             f"{obs['max_overhead']:.0%})")
+    digest = report.get("digest")
+    if digest:
+        lines.append(
+            f"  digest on    {digest['overhead_fraction']:+.1%} vs "
+            f"undigested ({digest['digest_refs_per_sec']:,.0f} vs "
+            f"{digest['plain_refs_per_sec']:,.0f} refs/s, "
+            f"{digest['windows']} windows, ceiling "
+            f"{digest['max_overhead']:.0%})")
     for warning in report.get("regressions", []):
         lines.append(f"  WARNING: {warning}")
     return "\n".join(lines)

@@ -83,6 +83,14 @@ class RunResult:
     #:    "actors", "fallout", "events", "events_per_sec",
     #:    "total_wall_seconds"}``.
     profile: Optional[Dict] = None
+    #: Determinism-observatory digest chain when the run was digested
+    #: (``run_app(digest=True)``), else None — the
+    #: :meth:`repro.obs.digest.DigestChain.to_jsonable` shape:
+    #: ``{"schema", "windows": [{"window", "epoch", "ts", "prev",
+    #:    "components", "machine"}, ...]}``.  Unlike ``profile`` it is
+    #: a pure function of deterministic simulation state, never of the
+    #: host.
+    digest: Optional[Dict] = None
 
     def overhead_vs(self, baseline: "RunResult") -> float:
         """Fractional slowdown relative to a baseline run."""
@@ -152,18 +160,28 @@ def run_app(app: str, variant: str = "baseline",
             until: Optional[int] = None,
             tracer: Optional[Tracer] = None,
             profiler: Optional[Profiler] = None,
+            digest: bool = False,
             **revive_overrides) -> RunResult:
     """Run one application analog on one machine variant to completion.
 
     Pass ``tracer`` / ``profiler`` to observe the run; see
     docs/OBSERVABILITY.md for the event schema and the profile shape
-    surfaced in ``RunResult.profile``.
+    surfaced in ``RunResult.profile``.  ``digest=True`` additionally
+    records the determinism-observatory chain — window 0 (the initial
+    state) plus one window per checkpoint boundary — into
+    ``RunResult.digest``; like profiles, digests are observations and
+    never perturb the simulation.
     """
     machine = build_machine(variant, machine_config, interval_ns,
                             tracer=tracer, profiler=profiler,
                             **revive_overrides)
     workload = get_workload(app, scale=scale, n_procs=n_procs)
     machine.attach_workload(workload)
+    if digest:
+        from repro.obs.digest import DigestRecorder
+
+        machine.install_digests(DigestRecorder(tracer))
+        machine.record_digest(ts=0)
     machine.run(until=until)
     return collect_result(machine, app, variant)
 
@@ -192,6 +210,8 @@ def collect_result(machine: Machine, app: str, variant: str) -> RunResult:
         instructions=refs * ipr,
         counters=machine.stats.snapshot(),
         profile=profile_summary(machine.profiler),
+        digest=(machine.digests.chain.to_jsonable()
+                if machine.digests is not None else None),
     )
 
 

@@ -1,0 +1,84 @@
+"""Per-component machine fingerprints (the determinism observatory).
+
+:func:`digest_components` names and fingerprints every stateful
+component of a machine, mirroring the decomposition of
+``machine/snapshot.py``'s :func:`~repro.machine.snapshot.capture_machine`
+so a digest divergence points at the same unit a snapshot diff would.
+Component names are stable identifiers — ``repro diff`` reports them
+and the chain lint recomputes machine digests over them:
+
+========================  =====================================================
+``engine``                event queue, clock, hook trigger, activation count
+``network``               in-flight messages and link calendars
+``layout``                address-space allocator state
+``metrics``               the full statistics registry (``state()``)
+``processors``            every processor's stream cursor and counters
+``machine``               store counter, barriers, golden images, warmup flags
+``node<i>.caches``        node *i*'s L1+L2 hierarchy
+``node<i>.directory``     node *i*'s directory entries
+``node<i>.memory``        node *i*'s memory lines
+``node<i>.timing``        node *i*'s DRAM calendar + directory occupancy
+``node<i>.log``           node *i*'s ReVive memory log        (ReVive only)
+``controller``            ReVive controller write-combine fill (ReVive only)
+``parity``                distributed parity groups            (ReVive only)
+``checkpoints``           checkpoint commit history            (cp variants)
+``io``                    pending/released I/O records         (when present)
+========================  =====================================================
+
+Everything host-side is deliberately absent — tracer sequence numbers,
+span transaction ids, profilers, and the digest chain itself — so the
+fingerprint is a pure function of deterministic simulation state:
+identical across execution tiers (snapshots are tier-independent,
+docs/SNAPSHOTS.md), across sweep parallelism, and across
+snapshot/restore boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.obs.digest import component_digest, digest_value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.system import Machine
+
+
+def digest_components(machine: "Machine") -> Dict[str, str]:
+    """Fingerprint every stateful component of ``machine`` by name."""
+    components = {
+        "engine": component_digest(machine.simulator),
+        "network": component_digest(machine.network),
+        "layout": component_digest(machine.addr_space),
+        "metrics": component_digest(machine.stats),
+        "processors": digest_value(
+            [proc.snapshot() for proc in machine.processors]),
+        "machine": digest_value({
+            "store_counter": machine._store_counter,
+            "barriers": [[index, sorted(barrier.arrived.items()),
+                          barrier.release_time]
+                         for index, barrier
+                         in sorted(machine._barriers.items())],
+            "golden": machine.snapshots,
+            "warmup_reset_done": getattr(machine, "_warmup_reset_done",
+                                         False),
+            "warmup_end_time": getattr(machine, "warmup_end_time", None),
+        }),
+    }
+    for node in machine.nodes:
+        prefix = f"node{node.node_id}"
+        components[f"{prefix}.caches"] = component_digest(node.hierarchy)
+        components[f"{prefix}.directory"] = component_digest(node.directory)
+        components[f"{prefix}.memory"] = component_digest(node.memory)
+        components[f"{prefix}.timing"] = digest_value(
+            {"mem": {"banks": node.mem_timing.banks.digest_state()},
+             "dir": node.dir_resource.digest_state()})
+    if machine.revive is not None:
+        for node_id, log in sorted(machine.revive.logs.items()):
+            components[f"node{node_id}.log"] = component_digest(log)
+        components["controller"] = component_digest(machine.revive)
+        components["parity"] = component_digest(machine.revive.parity)
+    if machine.checkpointing is not None:
+        components["checkpoints"] = component_digest(machine.checkpointing)
+    if machine.io_manager is not None:
+        components["io"] = component_digest(machine.io_manager)
+    return components

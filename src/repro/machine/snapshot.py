@@ -74,6 +74,8 @@ def capture_machine(machine: "Machine") -> Dict:
         "warmup_end_time": getattr(machine, "warmup_end_time", None),
         "trace_seq": getattr(machine.tracer, "_seq", 0),
         "span_next_txn": getattr(machine.spans, "next_txn", 1),
+        "digest": (machine.digests.chain.to_jsonable()
+                   if machine.digests is not None else None),
         "revive": None,
         "checkpointing": None,
         "io": None,
@@ -149,4 +151,12 @@ def restore_machine(machine: "Machine", state: Dict) -> None:
         machine.tracer._seq = state["trace_seq"]
     if machine.spans.enabled:
         machine.spans.next_txn = state["span_next_txn"]
+    # The digest chain resumes the same way (docs/OBSERVABILITY.md,
+    # "Determinism observatory"): a digesting machine restored from a
+    # digesting run's image continues that run's chain, so the stepped
+    # run's chain is identical to the uninterrupted reference's.
+    if machine.digests is not None and state.get("digest") is not None:
+        from repro.obs.digest import DigestChain
+
+        machine.digests.chain = DigestChain.from_jsonable(state["digest"])
     machine.geom_cache.invalidate()

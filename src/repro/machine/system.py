@@ -14,6 +14,7 @@ form the node's log region.  Both are ordinary parity-protected pages.
 from __future__ import annotations
 
 import math
+import os
 from typing import Dict, List, Optional
 
 from repro.coherence.protocol import ProtocolEngine
@@ -65,6 +66,17 @@ class Machine:
         #: Set through :meth:`install_profiler` below so the engine's
         #: attributed dispatch loop and the fast-path tier timers see it.
         self.profiler = None
+        #: Determinism-observatory recorder (None = digesting off,
+        #: zero overhead); install one with :meth:`install_digests`.
+        self.digests = None
+        #: Test-only divergence injection (the determinism observatory's
+        #: smoke/bisection hook): when set to N, the Nth store value is
+        #: deliberately flipped — a single, deterministic, localized
+        #: divergence for ``repro diff --bisect`` to find.  Read from
+        #: ``REPRO_PERTURB_STORE`` so the perturbed run is otherwise
+        #: identical to the reference; never set in normal use.
+        self.perturb_store = (
+            int(os.environ.get("REPRO_PERTURB_STORE", "0")) or None)
         self.network = Network(config, self.stats)
         group_size = revive_config.parity_group_size if revive_config else 0
         if revive_config is not None and revive_config.mirrored_fraction:
@@ -172,6 +184,38 @@ class Machine:
         for proc in self.processors:
             proc.invalidate_fastpath()
 
+    def install_digests(self, recorder) -> None:
+        """Attach a determinism-observatory recorder (obs/digest.py).
+
+        The machine records one digest window per checkpoint boundary
+        (inside :meth:`_checkpoint_hook`, after the queue rebuild — the
+        quiescent point) and callers may add on-demand windows with
+        :meth:`record_digest`.  No dispatch path changes: digesting
+        costs nothing between checkpoints.  Pass ``None`` to detach.
+        Install *before* the first window should be recorded; the
+        conventional window 0 (initial state, epoch 0) is the caller's
+        to record, e.g. ``machine.record_digest()`` right before
+        ``run()`` (harness/runner.py does this for ``digest=True``).
+        """
+        self.digests = recorder
+
+    def record_digest(self, ts: Optional[int] = None):
+        """Record one digest window now; returns it (or ``None`` when off).
+
+        ``ts`` defaults to the current simulated time; the window's
+        epoch is the currently committed checkpoint epoch (0 for
+        machines without checkpointing).
+        """
+        if self.digests is None:
+            return None
+        from repro.machine.digest import digest_components
+
+        epoch = (self.checkpointing.current_epoch()
+                 if self.checkpointing is not None else 0)
+        return self.digests.record(
+            digest_components(self), epoch=epoch,
+            ts=self.simulator.now if ts is None else ts)
+
     # -- reserved regions -----------------------------------------------------
 
     def system_page(self, node: int) -> int:
@@ -277,6 +321,11 @@ class Machine:
             return actor.time
 
         self.simulator.drain_rebuild(reschedule)
+        if self.digests is not None:
+            # Record the digest window at the quiescent point right
+            # after the commit barrier — every actor is rescheduled,
+            # no message is mid-flight, and the epoch just advanced.
+            self.record_digest(ts=commit)
         return self.checkpointing.next_trigger_after(commit)
 
     def note_processor_finished(self, proc: Processor) -> None:
@@ -347,6 +396,11 @@ class Machine:
     def next_store_value(self) -> int:
         """Globally unique value for each store (verification aid)."""
         self._store_counter += 1
+        if self._store_counter == self.perturb_store:
+            # Test-only injected divergence (see ``perturb_store``):
+            # offset keeps the flipped value outside the counter range
+            # so the perturbation never collides with a later store.
+            return self._store_counter + (1 << 32)
         return self._store_counter
 
     # -- workload barriers ----------------------------------------------------------------

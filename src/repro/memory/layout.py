@@ -319,6 +319,28 @@ class AddressSpace:
                 "fallback_node": self._fallback_node,
                 "first_touch_allocations": self.first_touch_allocations}
 
+    def digest_state(self) -> Dict:
+        """Determinism-observatory hook (obs/digest.py).
+
+        The free lists hold tens of thousands of page numbers, so they
+        are folded through the packed-int fast path (per-node lengths
+        plus one flat hash) instead of re-encoded as JSON at every
+        digest window; the page table stays plain — it is small and
+        its insertion order is first-touch order, which the snapshot
+        oracle already guarantees is deterministic.
+        """
+        from itertools import chain
+
+        from repro.obs.digest import packed_ints_digest
+
+        return {"page_table": list(self._page_table.items()),
+                "free_page_counts": [len(free)
+                                     for free in self._free_pages],
+                "free_pages": packed_ints_digest(
+                    chain.from_iterable(self._free_pages)),
+                "fallback_node": self._fallback_node,
+                "first_touch_allocations": self.first_touch_allocations}
+
     def restore(self, state: Dict) -> None:
         """Reinstate a :meth:`snapshot`.
 

@@ -107,6 +107,20 @@ class Network:
                           for key in self._links],
                 "messages_sent": self.messages_sent}
 
+    def digest_state(self) -> Dict:
+        """Determinism-observatory hook (obs/digest.py).
+
+        Defers to each calendar's ``digest_state`` (sorted,
+        packed-int hashing) instead of exposing the raw ``snapshot()``
+        bucket lists — far cheaper on a long run, and independent of
+        the order requests were booked in.
+        """
+        return {"ni": [self._ni[n].digest_state()
+                       for n in sorted(self._ni)],
+                "links": [self._links[key].digest_state()
+                          for key in self._links],
+                "messages_sent": self.messages_sent}
+
     def restore(self, state: Dict) -> None:
         """Reinstate a :meth:`snapshot` (docs/SNAPSHOTS.md)."""
         for node, ni_state in zip(sorted(self._ni), state["ni"]):

@@ -26,8 +26,12 @@ Built on the tracer's event stream (all in ``docs/OBSERVABILITY.md``):
   11, and 12 plus the span latency tables, recomputed from traces +
   ledgers alone.
 * :func:`lint_trace <repro.obs.lint.lint_file>` — the ``repro
-  trace-lint`` schema validator (including span pairing and
-  segment-sum closure).
+  trace-lint`` schema validator (including span pairing, segment-sum
+  closure, and digest chain linkage).
+* :mod:`repro.obs.digest` — the determinism observatory: per-window
+  machine state digests chained at every checkpoint boundary
+  (:class:`DigestChain`, :class:`DigestRecorder`), compared by
+  :func:`first_divergence` and bisected by ``repro diff``.
 
 Quick start::
 
@@ -55,6 +59,19 @@ from repro.obs.export import (
     profile_counter_trace,
     write_chrome_trace,
     write_profile_counter_trace,
+)
+from repro.obs.digest import (
+    DIGEST_SCHEMA,
+    DigestChain,
+    DigestRecorder,
+    canonical_bytes,
+    component_digest,
+    digest_value,
+    first_divergence,
+    merge_sweep_digests,
+    read_digest_file,
+    window_digest,
+    write_digest_file,
 )
 from repro.obs.lint import lint_events, lint_file
 from repro.obs.metrics import (
@@ -161,4 +178,15 @@ __all__ = [
     "emit_profile_events",
     "flamegraph_lines",
     "prometheus_text",
+    "DIGEST_SCHEMA",
+    "DigestChain",
+    "DigestRecorder",
+    "canonical_bytes",
+    "component_digest",
+    "digest_value",
+    "first_divergence",
+    "merge_sweep_digests",
+    "read_digest_file",
+    "window_digest",
+    "write_digest_file",
 ]

@@ -17,6 +17,7 @@ import os
 from typing import Dict, Iterable, List, Tuple
 
 from repro.obs.analysis import read_trace
+from repro.obs.digest import window_digest
 from repro.obs.spans import SEGMENTS, SPAN_CLASSES
 from repro.obs.tracer import CATEGORIES, SCHEMA_VERSION
 
@@ -88,6 +89,10 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "stats.snapshot": ("beat", "metrics"),
     # Per-request service-phase timing (host milliseconds).
     "svc.timing": ("key", "phases"),
+    # Determinism observatory (docs/OBSERVABILITY.md): one digest
+    # window per checkpoint boundary, ``ts`` = the commit time of the
+    # window it fingerprints.
+    "digest.window": ("window", "epoch", "machine", "prev", "components"),
 }
 
 
@@ -199,6 +204,83 @@ def _finish_prof(where: str, prof_block: Dict,
     prof_block["actor_seconds"] = 0.0
 
 
+def _lint_digest(event: Dict, where: str, digest_block: Dict,
+                 problems: List[str]) -> None:
+    """Stateful ``digest.*`` checks (determinism observatory).
+
+    Chain linkage: each window's ``prev`` must equal the previous
+    window's machine digest, and the window's own ``machine`` digest
+    must recompute from ``(prev, components)`` — the window fold is a
+    pure function (:func:`repro.obs.digest.window_digest`), so lint
+    verifies the chain offline without any machine state.  Window
+    indices must increase by exactly one.
+    """
+    window, machine = event.get("window"), event.get("machine")
+    prev, components = event.get("prev"), event.get("components")
+    digest_block["seen"] = True
+    if not isinstance(window, int):
+        problems.append(
+            f"{where}: digest window {window!r} is not an integer")
+        return
+    last_window = digest_block.get("window")
+    if last_window is not None and window != last_window + 1:
+        problems.append(
+            f"{where}: digest window {window} does not follow "
+            f"window {last_window}")
+    digest_block["window"] = window
+    tip = digest_block.get("tip")
+    if tip is not None and prev != tip:
+        problems.append(
+            f"{where}: digest window {window} prev {prev!r} does not "
+            f"equal the previous window's machine digest {tip!r} — "
+            f"the chain is broken")
+    if (not isinstance(components, dict) or not components
+            or not all(isinstance(k, str) and isinstance(v, str)
+                       for k, v in components.items())):
+        problems.append(
+            f"{where}: digest components must be a non-empty "
+            f"name->hexdigest object")
+        return
+    recomputed = window_digest(prev, components)
+    if recomputed != machine:
+        problems.append(
+            f"{where}: digest window {window} machine digest "
+            f"{machine!r} does not recompute from its prev and "
+            f"components ({recomputed!r})")
+    digest_block["tip"] = machine
+    pending = digest_block.get("pending")
+    if pending is not None and event.get("epoch") == pending[0]:
+        digest_block["pending"] = None
+
+
+def _note_commit(event: Dict, where: str, digest_block: Dict,
+                 problems: List[str]) -> None:
+    """Track ``ckpt.commit`` for the digest-at-every-boundary check.
+
+    Only enforced once the stream has shown any ``digest.window`` (a
+    digesting run records window 0 before its first commit); undigested
+    runs carry no obligation.
+    """
+    if not digest_block.get("seen"):
+        return
+    _finish_digest(where, digest_block, problems)
+    digest_block["pending"] = (event.get("epoch"), where)
+
+
+def _finish_digest(where: str, digest_block: Dict,
+                   problems: List[str]) -> None:
+    """Flag a checkpoint boundary that was never digested."""
+    pending = digest_block.get("pending")
+    if pending is None:
+        return
+    epoch, commit_where = pending
+    problems.append(
+        f"{where}: ckpt.commit epoch {epoch} ({commit_where}) has no "
+        f"digest.window for that epoch — digesting runs must "
+        f"fingerprint every checkpoint boundary")
+    digest_block["pending"] = None
+
+
 def lint_events(events: Iterable[Dict],
                 source: str = "<trace>") -> List[str]:
     """Validate an event stream; returns problem strings (empty = ok).
@@ -222,12 +304,22 @@ def lint_events(events: Iterable[Dict],
     numbers must be strictly increasing integers, and within one
     ``prof.run`` block the ``prof.actor`` seconds must not exceed the
     run's ``wall_seconds`` (attribution-sums-to-run).
+
+    ``digest`` events get the determinism-observatory checks
+    (:func:`_lint_digest`): chain linkage (each window's ``prev``
+    equals the previous machine digest, and the machine digest
+    recomputes from the window's fields) and, once any digest has been
+    seen, digest-at-every-checkpoint-boundary (every ``ckpt.commit``
+    must be followed by a ``digest.window`` for its epoch before the
+    next commit or end-of-stream).
     """
     problems: List[str] = []
     last_seq = None
     open_spans: Dict = {}
     last_beat = None
     prof_block: Dict = {"run": None, "actor_seconds": 0.0}
+    digest_block: Dict = {"tip": None, "window": None, "seen": False,
+                          "pending": None}
     for position, event in enumerate(events):
         where = f"{source}:{position}"
         if not isinstance(event, dict):
@@ -280,6 +372,10 @@ def lint_events(events: Iterable[Dict],
             _lint_span(event, where, open_spans, problems)
         elif cat == "prof":
             _lint_prof(event, where, prof_block, problems)
+        elif cat == "digest":
+            _lint_digest(event, where, digest_block, problems)
+        elif name == "ckpt.commit":
+            _note_commit(event, where, digest_block, problems)
         elif name == "stats.heartbeat":
             beat = event["beat"]
             if not isinstance(beat, int):
@@ -295,6 +391,7 @@ def lint_events(events: Iterable[Dict],
         problems.append(
             f"{source}: span.begin for txn {txn} has no matching span.end")
     _finish_prof(f"{source}:<end>", prof_block, problems)
+    _finish_digest(f"{source}:<end>", digest_block, problems)
     return problems
 
 

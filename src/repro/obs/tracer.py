@@ -47,11 +47,13 @@ SCHEMA_VERSION = 2
 #: docs/SERVING.md), happen outside simulated time, and carry ``ts`` 0
 #: by convention.  ``prof`` (host-time attribution snapshots) and
 #: ``stats`` (live service heartbeats/metrics) are host-side too and
-#: share the ``ts`` 0 convention.  Adding a category is additive
+#: share the ``ts`` 0 convention.  ``digest`` events (determinism
+#: observatory, one window per checkpoint boundary) carry the commit
+#: time of the window they fingerprint.  Adding a category is additive
 #: within a schema version — readers ignore categories they do not
 #: know.
 CATEGORIES = ("sim", "coh", "mem", "log", "ckpt", "recovery", "span",
-              "svc", "snap", "prof", "stats")
+              "svc", "snap", "prof", "stats", "digest")
 
 
 class RingBufferSink:

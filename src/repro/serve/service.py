@@ -106,10 +106,14 @@ def _normalise(request) -> Dict:
     """Validate a raw request dict into its canonical form.
 
     Returns ``{op, apps, variants, nodes, scale, interval_us,
-    no_cache}`` with every field defaulted and validated, or raises
-    :class:`ServiceError`.  ``run``/``latency`` requests name one
-    ``app`` (and optional ``variant``); ``sweep``/``report`` requests
-    name ``apps`` (and optional ``variants``).
+    no_cache, digest}`` with every field defaulted and validated, or
+    raises :class:`ServiceError`.  ``run``/``latency`` requests name
+    one ``app`` (and optional ``variant``); ``sweep``/``report``
+    requests name ``apps`` (and optional ``variants``).
+    ``digest: true`` records the determinism-observatory chain in
+    every simulated cell (campaigns included); chains ride back inside
+    each ``svc.result`` and the service accumulates per-cell chain
+    tips for the ``stats`` op's digest surface.
     """
     if not isinstance(request, dict):
         raise ServiceError("request must be a JSON object")
@@ -161,7 +165,8 @@ def _normalise(request) -> Dict:
         raise ServiceError("interval_us must be a positive number")
     req = {"op": op, "apps": apps, "variants": variants, "nodes": nodes,
            "scale": float(scale), "interval_us": float(interval_us),
-           "no_cache": bool(request.get("no_cache", False))}
+           "no_cache": bool(request.get("no_cache", False)),
+           "digest": bool(request.get("digest", False))}
     if op == "campaign":
         warm = request.get("warm_checkpoints", 2)
         if not isinstance(warm, int) or warm < 1:
@@ -190,7 +195,7 @@ def request_key(req: Dict) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def _service_execute(payload: Tuple[str, str, Dict, str]):
+def _service_execute(payload: Tuple[str, str, Dict, str, bool]):
     """Worker body: one traced cell through the sweep executor.
 
     Module-level so it pickles into the process pool.  Reuses
@@ -198,15 +203,19 @@ def _service_execute(payload: Tuple[str, str, Dict, str]):
     traced ``repro sweep`` — so the manifest (and therefore the config
     digest and every stored byte) is identical to what a sweep of the
     same cell produces.  The trace spools through a scratch file and
-    rides back as bytes.
+    rides back as bytes.  ``digest`` rides in as a side channel
+    (popped before the ledger, exactly like a ``run_sweep(digest=True)``
+    job), so digested and undigested cells share a cache key.
     """
-    app, variant, kwargs, spool_dir = payload
+    app, variant, kwargs, spool_dir, digest = payload
     os.makedirs(spool_dir, exist_ok=True)
     base = os.path.join(spool_dir, f"{app}__{variant}")
     kwargs = dict(kwargs)
     kwargs["_trace"] = {"path": base + ".jsonl",
                         "ledger_path": base + ".ledger.json",
                         "categories": None}
+    if digest:
+        kwargs["_digest"] = True
     _index, result, manifest = parallel._execute((0, (app, variant, kwargs)))
     with open(base + ".jsonl", "rb") as handle:
         trace = handle.read()
@@ -238,7 +247,8 @@ def _service_campaign(payload: Tuple[Dict, Optional[str]]):
         scale=req["scale"], n_procs=nodes or 16,
         interval_ns=int(req["interval_us"] * 1000),
         machine_config=machine_config, cache_dir=cache_dir,
-        serial=True, tracer=tracer, **tiny_revive_overrides(nodes))
+        serial=True, tracer=tracer, digest=req.get("digest", False),
+        **tiny_revive_overrides(nodes))
     return campaign.to_jsonable(), sink.events()
 
 
@@ -272,6 +282,10 @@ class SimulationService:
         if cache_dir is not None:
             self.store = ResultStore(cache_dir, max_bytes=max_cache_bytes,
                                      tracer=Tracer(self.health))
+        #: Chain tips of digested cells, keyed by store key — the
+        #: ``stats`` op's digest surface.  Two entries for the same key
+        #: must agree (determinism); last write wins either way.
+        self.digest_tips: Dict[str, Dict] = {}
         self._inflight: Dict[str, asyncio.Task] = {}
         self._executor = None
         self._executor_broken = False
@@ -348,7 +362,8 @@ class SimulationService:
         time split into cache-lookup / queue-wait / execute phases)
         and ``svc.done``.  A ``stats`` request instead streams the
         recent ``stats.heartbeat`` samples and one ``stats.snapshot``
-        of the full metrics registry.  Any rejection or internal
+        of the full metrics registry plus the digest surface (the
+        chain tip of every digested cell).  Any rejection or internal
         failure ends the stream with ``svc.error`` instead.  Events
         carry the standard trace envelope at ``ts`` 0 and pass
         ``repro trace-lint``.
@@ -376,7 +391,9 @@ class SimulationService:
                     yield env("stats.heartbeat", cat="stats", **beat)
                 yield env("stats.snapshot", cat="stats",
                           beat=sample["beat"],
-                          metrics=self.metrics.full_snapshot())
+                          metrics=self.metrics.full_snapshot(),
+                          digest={"cells": len(self.digest_tips),
+                                  "tips": dict(self.digest_tips)})
                 yield env("svc.done", key=key, jobs=0, cached=0)
                 return
 
@@ -391,7 +408,8 @@ class SimulationService:
                               if k not in ("v", "seq", "ts", "cat", "name")}
                     yield env(snap["name"], cat="snap", **fields)
                 yield env("svc.campaign", key=key,
-                          outcomes=campaign["outcomes"])
+                          outcomes=campaign["outcomes"],
+                          digests=campaign.get("digests"))
                 yield env("svc.done", key=key,
                           jobs=len(campaign["outcomes"]),
                           cached=sum(1 for image in campaign["images"]
@@ -420,7 +438,8 @@ class SimulationService:
                         task = asyncio.ensure_future(self._run_and_store(
                             jkey, app, variant, kwargs,
                             register=use_cache, store=use_cache,
-                            scheduled_at=perf_counter()))
+                            scheduled_at=perf_counter(),
+                            digest=req["digest"]))
                         if use_cache:
                             self._inflight[jkey] = task
                 cells.append((app, variant, jkey, entry, task, coalesced))
@@ -449,6 +468,13 @@ class SimulationService:
                     queue_wait_s += timing["queue_wait_s"]
                     execute_s += timing["execute_s"]
                     cached = False
+                chain = getattr(result, "digest", None)
+                if chain and chain.get("windows"):
+                    self.digest_tips[jkey] = {
+                        "app": app, "variant": variant,
+                        "windows": len(chain["windows"]),
+                        "machine": chain["windows"][-1]["machine"]}
+                    self.metrics.counter("svc.digest_runs").add()
                 results[(app, variant)] = (result, manifest)
                 yield env("svc.verdicts", key=jkey, app=app,
                           variant=variant, verdicts=manifest["verdicts"])
@@ -538,7 +564,8 @@ class SimulationService:
 
     async def _run_and_store(self, key: str, app: str, variant: str,
                              kwargs: Dict, register: bool, store: bool,
-                             scheduled_at: float) -> Tuple:
+                             scheduled_at: float,
+                             digest: bool = False) -> Tuple:
         """Simulate one cell in the pool; store the entry on the way out.
 
         Returns ``(result, manifest, timing)`` where ``timing`` splits
@@ -551,7 +578,7 @@ class SimulationService:
         try:
             loop = asyncio.get_running_loop()
             spool = tempfile.mkdtemp(prefix="repro-serve-")
-            payload = (app, variant, kwargs, spool)
+            payload = (app, variant, kwargs, spool, digest)
             begin = perf_counter()
             timing["queue_wait_s"] = begin - scheduled_at
             self._busy += 1

@@ -112,7 +112,8 @@ class Simulator:
     """
 
     __slots__ = ("queue", "now", "_hook", "_hook_time", "activations",
-                 "tracer", "actors", "_actor_ids", "host_prof")
+                 "tracer", "actors", "_actor_ids", "host_prof",
+                 "digest_hook")
 
     def __init__(self) -> None:
         self.queue = EventQueue()
@@ -129,6 +130,14 @@ class Simulator:
         #: dispatch loop and pays nothing.  Deliberately host-side
         #: state: :meth:`snapshot`/:meth:`restore` never touch it.
         self.host_prof = None
+        #: Event-granularity digest hook (determinism observatory,
+        #: docs/OBSERVABILITY.md): a zero-argument callable invoked
+        #: after *every* actor activation, or ``None`` — the default —
+        #: in which case :meth:`run` takes the unmetered loop.  Used
+        #: only by ``repro diff --bisect`` replays; like ``host_prof``
+        #: it is deliberately host-side state that snapshots never
+        #: touch.
+        self.digest_hook = None
         #: Registered actors, indexed by actor id (registration order).
         self.actors: List[Callable[[int], Optional[int]]] = []
         self._actor_ids: Dict[int, int] = {}
@@ -201,6 +210,8 @@ class Simulator:
         each global-hook trigger, and ``sim.actor_retire`` when an
         actor returns ``None``.
         """
+        if self.digest_hook is not None:
+            return self._run_digested(until)
         if self.host_prof is not None:
             return self._run_attributed(until)
         tracer = self.tracer
@@ -335,6 +346,68 @@ class Simulator:
                 kind = type(getattr(actor, "__self__", actor)).__name__
                 prof.label_actor(actor_id,
                                  node if node is not None else -1, kind)
+        if tracer.enabled:
+            tracer.emit(self.now, "sim", "sim.run_end",
+                        activations=self.activations)
+        return self.now
+
+    def _run_digested(self, until: Optional[int] = None) -> int:
+        """:meth:`run` with a per-activation digest hook.
+
+        Structurally identical to :meth:`run` — same hook, horizon,
+        batching, retirement, and trace semantics, so simulated results
+        are bit-identical — but :attr:`digest_hook` is called after
+        every ``actor(time)`` return, i.e. at every event boundary,
+        where batch closures have flushed their local counters and the
+        machine state is coherent enough to fingerprint.  This loop is
+        expensive by design (the hook typically digests the whole
+        machine); it exists for divergence bisection replays over a
+        single checkpoint window, never for production runs.
+        """
+        hook = self.digest_hook
+        tracer = self.tracer
+        actors = self.actors
+        if tracer.enabled:
+            tracer.emit(self.now, "sim", "sim.run_begin", until=until,
+                        pending=len(self.queue))
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if (self._hook is not None and self._hook_time is not None
+                    and next_time is not None
+                    and next_time >= self._hook_time):
+                if until is not None and self._hook_time > until:
+                    break
+                self.now = max(self.now, self._hook_time)
+                if tracer.enabled:
+                    tracer.emit(self._hook_time, "sim", "sim.hook_fire")
+                self._hook_time = self._hook(self._hook_time)
+                continue
+            if until is not None and next_time is not None \
+                    and next_time > until:
+                break
+            time, actor_id = self.queue.pop()
+            actor = actors[actor_id]
+            while True:
+                self.now = max(self.now, time)
+                self.activations += 1
+                next_activation = actor(time)
+                hook()
+                if next_activation is None:
+                    if tracer.enabled:
+                        tracer.emit(self.now, "sim", "sim.actor_retire",
+                                    actor=getattr(actor, "proc_id", None))
+                    break
+                if self.queue:
+                    self.queue.push(next_activation, actor_id)
+                    break
+                if (self._hook is not None and self._hook_time is not None
+                        and next_activation >= self._hook_time):
+                    self.queue.push(next_activation, actor_id)
+                    break
+                if until is not None and next_activation > until:
+                    self.queue.push(next_activation, actor_id)
+                    break
+                time = next_activation
         if tracer.enabled:
             tracer.emit(self.now, "sim", "sim.run_end",
                         activations=self.activations)

@@ -148,6 +148,28 @@ class Resource:
                 "since_prune": self._since_prune,
                 "full_until": self._full_until}
 
+    def digest_state(self) -> Dict:
+        """Determinism-observatory hook (obs/digest.py).
+
+        The bucket dict is the only bulky part of the calendar, so the
+        fingerprint hashes its keys and values over the packed-int
+        fast path instead of re-encoding them as canonical JSON at
+        every window — an order of magnitude cheaper on a long run's
+        calendar.  Key order is the dict's insertion order, the same
+        order :meth:`snapshot` exposes; the snapshot oracle already
+        guarantees that order is identical across execution tiers and
+        snapshot/restore boundaries.
+        """
+        from repro.obs.digest import packed_ints_digest
+
+        return {"buckets": packed_ints_digest(self._buckets.keys()),
+                "occupancy": packed_ints_digest(self._buckets.values()),
+                "busy_time": self.busy_time,
+                "requests": self.requests,
+                "max_seen": self._max_seen,
+                "since_prune": self._since_prune,
+                "full_until": self._full_until}
+
     def restore(self, state: Dict) -> None:
         """Reinstate a :meth:`snapshot` (docs/SNAPSHOTS.md)."""
         self._buckets.clear()

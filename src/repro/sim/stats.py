@@ -115,6 +115,30 @@ class StatsRegistry(MetricsRegistry):
         state["log_size_samples"] = [list(s) for s in self.log_size_samples]
         return state
 
+    def digest_state(self) -> Dict:
+        """Determinism-observatory hook (obs/digest.py).
+
+        Fingerprints the *full* registry :meth:`state`, not the legacy
+        flat-counters ``snapshot()`` view the default would hash —
+        gauges, histograms, and the traffic breakdowns all participate
+        in the machine digest.  The Figure 11 sample series grows
+        linearly with run length, so it is folded through the
+        packed-int fast path (count plus hash) rather than re-encoded
+        as JSON at every window.
+        """
+        from itertools import chain
+
+        from repro.obs.digest import packed_ints_digest
+
+        state = super().state()
+        state["network_traffic"] = self.network_traffic.as_dict()
+        state["memory_traffic"] = self.memory_traffic.as_dict()
+        state["log_size_samples"] = [
+            len(self.log_size_samples),
+            packed_ints_digest(
+                chain.from_iterable(self.log_size_samples))]
+        return state
+
     def restore(self, state: Dict) -> None:
         """Reinstate a :meth:`state` capture (docs/SNAPSHOTS.md)."""
         super().restore(state)

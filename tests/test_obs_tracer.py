@@ -213,11 +213,14 @@ class TestRecoveryBreakdownFromTrace:
         counts = category_counts(events)
         # Every simulator-emitted category; "svc" belongs to the
         # serving layer (docs/SERVING.md), "snap" to the campaign
-        # layer (docs/SNAPSHOTS.md), and "prof"/"stats" to the
-        # host-time/telemetry layer (docs/OBSERVABILITY.md) — none of
-        # them appears in a plain machine trace.
+        # layer (docs/SNAPSHOTS.md), "prof"/"stats" to the
+        # host-time/telemetry layer (docs/OBSERVABILITY.md), and
+        # "digest" to the determinism observatory (opt-in via
+        # install_digests) — none of them appears in a plain machine
+        # trace.
         assert set(counts) == set(CATEGORIES) - {"svc", "snap",
-                                                 "prof", "stats"}
+                                                 "prof", "stats",
+                                                 "digest"}
         names = {e["name"] for e in events}
         assert {"sim.run_begin", "coh.transition", "log.append",
                 "ckpt.commit", "recovery.begin", "recovery.end",

@@ -194,6 +194,52 @@ class TestProfilerAcrossRoundtrip:
         assert fresh.profiler is None
 
 
+class TestDigestAcrossRoundtrip:
+    """The determinism digest chain rides inside snapshot images the
+    way trace sequence numbers do: a digesting machine restored from a
+    digesting run's image continues the donor's chain, and the full
+    chain is bit-identical to never having paused."""
+
+    def digested(self, machine):
+        from repro.obs.digest import DigestRecorder
+
+        machine.install_digests(DigestRecorder(None))
+        machine.record_digest(0)
+        return machine
+
+    def test_restored_chain_continues_the_reference_chain(self):
+        reference = self.digested(build("fft", "cp_parity"))
+        reference.run()
+        final_chain = reference.digests.chain
+        assert len(final_chain) >= 3, "run too short for the roundtrip"
+
+        pause = final_chain.windows[2]["ts"]  # the 2nd commit boundary
+        donor = self.digested(build("fft", "cp_parity"))
+        donor.run(until=pause)
+        windows_at_pause = len(donor.digests.chain)
+        image = pickle.dumps(donor.snapshot())
+
+        restored = self.digested(build("fft", "cp_parity"))
+        restored.restore(pickle.loads(image))
+        # restore() replaced the fresh window 0 with the donor's chain.
+        assert len(restored.digests.chain) == windows_at_pause
+        restored.run()
+        assert restored.digests.chain == final_chain
+
+    def test_image_digest_equals_live_digest_at_the_pause(self):
+        # component_digest over the restored machine equals the same
+        # fingerprint of the donor at the pause point: the image loses
+        # nothing the observatory can see.
+        from repro.machine.digest import digest_components
+
+        donor = self.digested(build("fft", "cp_parity"))
+        donor.run(until=3 * INTERVAL_NS)
+        at_pause = digest_components(donor)
+        fresh = self.digested(build("fft", "cp_parity"))
+        fresh.restore(pickle.loads(pickle.dumps(donor.snapshot())))
+        assert digest_components(fresh) == at_pause
+
+
 class TestRestoreValidation:
     def test_wrong_topology_is_rejected(self):
         from repro.machine.snapshot import SnapshotError

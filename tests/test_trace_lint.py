@@ -286,6 +286,114 @@ class TestLintTelemetry:
         assert "stats.snapshot missing required fields" in problem
 
 
+class TestLintDigest:
+    """digest.window stateful checks (determinism observatory)."""
+
+    def window(self, seq, window, prev, ts=0, epoch=0, components=None,
+               machine=None):
+        from repro.obs.digest import window_digest
+
+        if components is None:
+            components = {"engine": "a" * 64, "node0.memory": "b" * 64}
+        if machine is None:
+            machine = window_digest(prev, components)
+        return ev(seq, "digest.window", ts=ts, window=window, epoch=epoch,
+                  machine=machine, prev=prev, components=components)
+
+    def chained(self):
+        """Window 0, a checkpoint boundary, and its window 1."""
+        from repro.obs.digest import GENESIS
+
+        first = self.window(0, 0, GENESIS)
+        stream = [first,
+                  ev(1, "ckpt.begin", ts=10, epoch=1),
+                  ev(2, "ckpt.commit", ts=40, epoch=1, dur_ns=30),
+                  self.window(3, 1, first["machine"], ts=40, epoch=1,
+                              components={"engine": "c" * 64})]
+        return stream
+
+    def test_well_formed_chain_lints_clean(self):
+        assert lint_events(self.chained()) == []
+
+    def test_broken_prev_linkage(self):
+        stream = self.chained()
+        # Recompute machine from the *claimed* prev so only the
+        # linkage check fires, not the recompute check too.
+        stream[3] = self.window(3, 1, "0" * 64, ts=40, epoch=1)
+        (problem,) = lint_events(stream)
+        assert "the chain is broken" in problem
+
+    def test_machine_digest_must_recompute(self):
+        from repro.obs.digest import GENESIS
+
+        stream = [self.window(0, 0, GENESIS, machine="f" * 64)]
+        (problem,) = lint_events(stream)
+        assert "does not recompute" in problem
+
+    def test_window_numbers_must_be_sequential(self):
+        stream = self.chained()
+        skipped = self.window(4, 3, stream[3]["machine"], ts=40, epoch=1)
+        (problem,) = lint_events(stream + [skipped])
+        assert "window 3 does not follow window 1" in problem
+
+    def test_non_integer_window(self):
+        from repro.obs.digest import GENESIS
+
+        event = self.window(0, 0, GENESIS)
+        event["window"] = "zero"
+        (problem,) = lint_events([event])
+        assert "is not an integer" in problem
+
+    def test_components_must_be_nonempty_mapping(self):
+        from repro.obs.digest import GENESIS, window_digest
+
+        event = self.window(0, 0, GENESIS, components={},
+                            machine=window_digest(GENESIS, {}))
+        (problem,) = lint_events([event])
+        assert "non-empty name->hexdigest" in problem
+
+    def test_commit_without_digest_window_flagged(self):
+        # Once a stream shows any digest.window, every later
+        # ckpt.commit owes the chain a window for its epoch.
+        stream = self.chained()
+        stream.append(ev(4, "ckpt.begin", ts=50, epoch=2))
+        stream.append(ev(5, "ckpt.commit", ts=90, epoch=2, dur_ns=40))
+        (problem,) = lint_events(stream)
+        assert "epoch 2" in problem
+        assert "has no digest.window" in problem
+
+    def test_undigested_runs_carry_no_obligation(self):
+        # No digest.window anywhere: commits lint clean (back-compat
+        # with traces from before the observatory existed).
+        assert lint_events(valid_stream()) == []
+
+    def test_broken_digest_fixture_fails_lint(self):
+        # The checked-in fixture carries a valid window 0 and a window
+        # 1 whose prev was hand-corrupted (machine recomputed from the
+        # corrupt prev, so only the linkage check fires) — lint must
+        # fail on exactly the chain-linkage problem.
+        fixture = os.path.join(os.path.dirname(__file__), "fixtures",
+                               "broken_digest_trace.jsonl")
+        problems = lint_file(fixture)
+        assert len(problems) == 1
+        assert "digest window 1 prev" in problems[0]
+        assert "the chain is broken" in problems[0]
+
+    def test_live_digested_run_lints_clean(self, tmp_path):
+        from repro.obs.digest import DigestRecorder
+
+        path = str(tmp_path / "digested.jsonl")
+        machine = build_tiny_machine()
+        tracer = Tracer(JsonlFileSink(path))
+        machine.install_tracer(tracer)
+        machine.install_digests(DigestRecorder(tracer))
+        machine.attach_workload(ToyWorkload(rounds=2))
+        machine.record_digest(0)
+        machine.run()
+        tracer.close()
+        assert lint_file(path) == []
+
+
 class TestLintFile:
     def test_missing_file(self, tmp_path):
         (problem,) = lint_file(str(tmp_path / "nope.jsonl"))

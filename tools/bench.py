@@ -51,6 +51,9 @@ def main(argv=None) -> int:
     parser.add_argument("--no-obs-bench", action="store_true",
                         help="skip the disabled-observability overhead "
                              "measurement (and its gate)")
+    parser.add_argument("--no-digest-bench", action="store_true",
+                        help="skip the determinism-digest overhead "
+                             "measurement (and its gate)")
     parser.add_argument("--quick", action="store_true",
                         help="one round at scale 0.1 (smoke use)")
     parser.add_argument("--out", default=DEFAULT_OUT,
@@ -73,7 +76,8 @@ def main(argv=None) -> int:
                                include_cache=not args.no_cache_bench,
                                include_campaign=not args.no_campaign_bench,
                                include_columnar=not args.no_columnar_bench,
-                               include_obs=not args.no_obs_bench)
+                               include_obs=not args.no_obs_bench,
+                               include_digest=not args.no_digest_bench)
     os.makedirs(os.path.dirname(args.out), exist_ok=True)
     write_report(report, args.out)
     print(format_report(report))

@@ -46,6 +46,12 @@ Steps (documented in docs/OBSERVABILITY.md):
     second must fork from the cached image with identical outcomes,
     and the campaign trace must pass ``repro trace-lint``
     (docs/SNAPSHOTS.md).
+11. Determinism diff: ``repro run --digest`` twice — once clean, once
+    with ``REPRO_PERTURB_STORE=100`` flipping one reference — then
+    ``repro diff --bisect`` must exit 1, name the first divergent
+    window and component, and localise a replayed event whose store
+    range covers the injected counter (docs/OBSERVABILITY.md,
+    "Determinism observatory").
 
 Exits 0 when every executed step passes.
 """
@@ -273,6 +279,59 @@ def step_serve_telemetry() -> None:
                 server.kill()
 
 
+def step_determinism_diff() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        digest_a = os.path.join(tmp, "a.json")
+        digest_b = os.path.join(tmp, "b.json")
+        argv = [sys.executable, "-m", "repro", "run", "lu",
+                "--nodes", "4", "--scale", "0.05", "--interval-us", "50"]
+        clean = run(argv + ["--digest", digest_a],
+                    capture_output=True, text=True, timeout=180)
+        if clean.returncode != 0:
+            raise SystemExit("repro run --digest failed:\n"
+                             f"{clean.stdout}\n{clean.stderr}")
+        env = _env()
+        env["REPRO_PERTURB_STORE"] = "100"
+        perturbed = subprocess.run(
+            argv + ["--digest", digest_b], cwd=REPO_ROOT, env=env,
+            capture_output=True, text=True, timeout=180)
+        if perturbed.returncode != 0:
+            raise SystemExit("perturbed repro run --digest failed:\n"
+                             f"{perturbed.stdout}\n{perturbed.stderr}")
+        same = run([sys.executable, "-m", "repro", "diff",
+                    digest_a, digest_a], capture_output=True, text=True)
+        if same.returncode != 0 or "identical" not in same.stdout:
+            raise SystemExit("repro diff of a run against itself should "
+                             f"be identical:\n{same.stdout}\n{same.stderr}")
+        diff = run([sys.executable, "-m", "repro", "diff",
+                    digest_a, digest_b, "--bisect"],
+                   capture_output=True, text=True, timeout=180)
+        # The perturbed run flips store #100, so the bisection must
+        # exit 1, name the divergent window, and localise an event
+        # whose store range covers the injected counter.
+        if diff.returncode != 1:
+            raise SystemExit("repro diff should exit 1 on divergent "
+                             f"runs:\n{diff.stdout}\n{diff.stderr}")
+        lines = diff.stdout.splitlines()
+        window_line = next((ln for ln in lines
+                            if ln.startswith("divergent: first at window")),
+                           None)
+        event_line = next((ln for ln in lines
+                           if ln.startswith("bisect: first divergent "
+                                            "event")), None)
+        if window_line is None or event_line is None:
+            raise SystemExit("repro diff --bisect did not localise the "
+                             f"divergence:\n{diff.stdout}\n{diff.stderr}")
+        lo, hi = (int(part.strip("(]"))
+                  for part in event_line.rsplit("stores ", 1)[1]
+                  .split(", "))
+        if not lo < 100 <= hi:
+            raise SystemExit("bisection store range should cover the "
+                             f"injected store #100: {event_line}")
+        print(f"  determinism diff: {window_line.split(': ', 1)[1]}; "
+              f"{event_line.split(': ', 1)[1]}")
+
+
 def step_campaign_round_trip() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         trace_path = os.path.join(tmp, "campaign.jsonl")
@@ -311,27 +370,29 @@ def step_campaign_round_trip() -> None:
 
 def main() -> int:
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
-    print("[1/9] repro --help")
+    print("[1/10] repro --help")
     step_cli_help()
-    print("[2/9] traced node-loss recovery (repro trace lu)")
+    print("[2/10] traced node-loss recovery (repro trace lu)")
     step_traced_run()
-    print("[3/9] ruff check")
+    print("[3/10] ruff check")
     if step_lint():
         print("  lint clean")
     else:
         print("  ruff not installed -- skipped (optional dev dependency)")
-    print("[4/9] perf smoke")
+    print("[4/10] perf smoke")
     step_perf_smoke()
-    print("[5/9] execution-tier matrix (reference/scalar/columnar)")
+    print("[5/10] execution-tier matrix (reference/scalar/columnar)")
     step_tier_matrix()
-    print("[6/9] host-time attribution (repro profile lu)")
+    print("[6/10] host-time attribution (repro profile lu)")
     step_profile()
-    print("[7/9] repro serve round-trip (cache miss -> hit)")
+    print("[7/10] repro serve round-trip (cache miss -> hit)")
     step_serve_round_trip()
-    print("[8/9] repro serve telemetry (stats + GET /metrics)")
+    print("[8/10] repro serve telemetry (stats + GET /metrics)")
     step_serve_telemetry()
-    print("[9/9] repro campaign round-trip (capture -> fork)")
+    print("[9/10] repro campaign round-trip (capture -> fork)")
     step_campaign_round_trip()
+    print("[10/10] determinism diff (repro run --digest + repro diff)")
+    step_determinism_diff()
     print("smoke: OK")
     return 0
 
